@@ -1,0 +1,28 @@
+"""Fig. 1(a): targeted BFA vs random bit flips (8-bit VGG-11).
+
+Paper shape: BFA drives accuracy to near-chance within tens of flips;
+100 random flips barely move it.
+"""
+
+from repro.eval import Scale, downsample, format_series, run_fig1a
+
+
+def test_fig1a_bfa_vs_random(benchmark):
+    result = benchmark.pedantic(
+        run_fig1a, kwargs={"scale": Scale.quick()}, rounds=1, iterations=1
+    )
+    print()
+    print("=== Fig. 1(a): BFA vs random attack (VGG-11, synthetic CIFAR-100) ===")
+    print(f"clean accuracy: {result['clean_accuracy']:.1f}%  "
+          f"(chance {result['chance_accuracy']:.1f}%)")
+    for name in ("bfa", "random"):
+        xs, ys = zip(*downsample(result[name], 10))
+        print(format_series(f"{name} accuracy vs #flips", xs, ys, "{:.1f}"))
+
+    clean = result["clean_accuracy"]
+    chance = result["chance_accuracy"]
+    # Shape: BFA collapses toward chance; random stays near clean.
+    assert result["bfa"][-1] < clean * 0.5
+    assert result["bfa"][-1] < result["random"][-1]
+    assert result["random"][-1] > clean - 30.0
+    assert result["random"][-1] - result["bfa"][-1] > 10.0

@@ -1,0 +1,17 @@
+"""Fig. 1(b): RowHammer threshold by DRAM generation."""
+
+from repro.eval import format_table, run_fig1b
+
+
+def test_fig1b_trh_table(benchmark):
+    rows = benchmark.pedantic(run_fig1b, rounds=1, iterations=1)
+    print()
+    print(format_table(["DRAM Generation", "TRH"], rows, "=== Fig. 1(b) ==="))
+
+    table = dict(rows)
+    assert table["DDR3 (old)"] == "139K"
+    assert table["DDR3 (new)"] == "22.4K"
+    assert table["DDR4 (old)"] == "17.5K"
+    assert table["DDR4 (new)"] == "10K"
+    assert table["LPDDR4 (old)"] == "16.8K"
+    assert table["LPDDR4 (new)"] == "4.8K - 9K"

@@ -1,0 +1,18 @@
+"""Fig. 5: the 16-bit instruction set and the SWAP micro-program."""
+
+from repro.eval import run_fig5
+
+
+def test_fig5_isa_encoding(benchmark):
+    result = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    print()
+    print("=== Fig. 5: DRAM-Locker ISA ===")
+    print("opcodes:", result["opcodes"])
+    print("SWAP program:", " ".join(result["swap_program_words"]))
+    print(result["swap_program_listing"])
+
+    assert result["round_trip_ok"]
+    assert result["opcodes"]["COPY"] == "01"
+    assert result["opcodes"]["BNEZ"] == "10"
+    assert result["opcodes"]["DONE"] == "11"
+    assert len(result["swap_program_words"]) == 4  # 3 copies + done

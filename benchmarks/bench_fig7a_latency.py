@@ -1,0 +1,34 @@
+"""Fig. 7(a): mitigation latency per refresh window vs number of BFA
+attempts -- SHADOW at thresholds 1k/2k/4k/8k vs DRAM-Locker at 1k.
+
+Paper shape: every SHADOW curve sits far above DL; SHADOW curves stop
+escalating at their defense threshold (integrity compromised); DL has
+no such plateau and stays near-flat.
+"""
+
+from repro.eval import run_fig7a
+
+
+def test_fig7a_latency_per_tref(benchmark):
+    result = benchmark.pedantic(run_fig7a, rounds=1, iterations=1)
+    counts = result["attack_counts"]
+    series = result["series"]
+    print()
+    print("=== Fig. 7(a): latency per Tref (s) vs #BFA ===")
+    header = "attacks".ljust(12) + "".join(f"{n:>12}" for n in counts)
+    print(header)
+    for name, values in series.items():
+        print(name.ljust(12) + "".join(f"{v:12.2e}" for v in values))
+
+    last = len(counts) - 1
+    # DL is the cheapest defense at every attack count.
+    for name, values in series.items():
+        if name != "DL":
+            assert values[last] > series["DL"][last]
+    # More aggressive shuffle thresholds cost more (until saturation).
+    assert series["SHADOW1000"][1] > series["SHADOW2000"][1]
+    assert series["SHADOW2000"][1] > series["SHADOW4000"][1]
+    assert series["SHADOW4000"][1] > series["SHADOW8000"][1]
+    # SHADOW1000 saturates inside the sweep (compromised), DL never does.
+    assert series["SHADOW1000"][last] == series["SHADOW1000"][last - 1]
+    assert series["DL"][last] > series["DL"][last - 1]

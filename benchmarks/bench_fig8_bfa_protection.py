@@ -1,0 +1,63 @@
+"""Fig. 8: BFA accuracy vs iteration with and without DRAM-Locker.
+
+(a) ResNet-20 / synthetic CIFAR-10, (b) VGG-11 / synthetic CIFAR-100.
+Both run against the full simulated stack: weights in DRAM behind the
+controller, attacker hammering through it, DRAM-Locker charged with the
++/-20% process corner's 9.6% SWAP failure rate.
+
+Paper shape: the unprotected curve collapses within tens of iterations;
+the protected curve degrades at roughly the swap-failure rate, i.e.
+~10x slower.
+"""
+
+import pytest
+
+from repro.eval import Scale, downsample, format_series, run_fig8
+
+
+def check_and_print(result, title):
+    print()
+    print(f"=== Fig. 8: {title} ===")
+    print(f"clean {result['clean_accuracy']:.1f}%  "
+          f"(chance {result['chance_accuracy']:.1f}%)")
+    for label, accs in result["curves"].items():
+        xs, ys = zip(*downsample(accs, 10))
+        print(format_series(label, xs, ys, "{:.1f}"))
+    for label, stats in result["stats"].items():
+        print(f"{label}: {stats}")
+
+    clean = result["clean_accuracy"]
+    without = result["curves"]["without DRAM-Locker"]
+    protected = result["curves"]["with DRAM-Locker"]
+    stats = result["stats"]
+    # Unprotected: the attack lands every iteration and wrecks accuracy.
+    assert stats["without DRAM-Locker"]["executed_flips"] == len(without)
+    assert without[-1] < clean - 20.0
+    # Protected: most campaigns are blocked outright...
+    unprotected_flips = stats["without DRAM-Locker"]["executed_flips"]
+    protected_flips = stats["with DRAM-Locker"]["executed_flips"]
+    assert protected_flips < unprotected_flips / 2
+    assert stats["with DRAM-Locker"]["blocked_activations"] > 0
+    # ...so the protected model ends far above the unprotected one.
+    assert protected[-1] > without[-1] + 10.0
+
+
+def test_fig8a_resnet20(benchmark):
+    result = benchmark.pedantic(
+        run_fig8,
+        kwargs={"arch": "resnet20", "scale": Scale.quick()},
+        rounds=1,
+        iterations=1,
+    )
+    check_and_print(result, "(a) ResNet-20 on synthetic CIFAR-10")
+
+
+def test_fig8b_vgg11(benchmark):
+    scale = Scale.quick()
+    result = benchmark.pedantic(
+        run_fig8,
+        kwargs={"arch": "vgg11", "scale": scale},
+        rounds=1,
+        iterations=1,
+    )
+    check_and_print(result, "(b) VGG-11 on synthetic CIFAR-100")

@@ -1,0 +1,32 @@
+"""Section V (PTA): page-table attack with and without DRAM-Locker.
+
+Paper claim: under PTA the attacker similarly needs a growing number of
+iterations to cause an equivalent accuracy decline once DRAM-Locker
+protects the page-table rows.
+"""
+
+from repro.eval import Scale, run_pta
+
+
+def test_pta_protection(benchmark):
+    result = benchmark.pedantic(
+        run_pta, kwargs={"scale": Scale.quick()}, rounds=1, iterations=1
+    )
+    print()
+    print("=== PTA: page-table attack ===")
+    print(f"clean {result['clean_accuracy']:.1f}%  "
+          f"(chance {result['chance_accuracy']:.1f}%)")
+    for label, accs in result["curves"].items():
+        print(label, [f"{a:.1f}" for a in accs])
+    for label, stats in result["stats"].items():
+        print(f"{label}: {stats}")
+
+    clean = result["clean_accuracy"]
+    stats = result["stats"]
+    # Unprotected: PTEs get redirected and accuracy collapses.
+    assert stats["without DRAM-Locker"]["executed_redirects"] >= 1
+    assert stats["without DRAM-Locker"]["final_accuracy"] < clean - 15.0
+    # Protected: no redirect lands; accuracy untouched.
+    assert stats["with DRAM-Locker"]["executed_redirects"] == 0
+    assert stats["with DRAM-Locker"]["redirected_pages"] == 0
+    assert stats["with DRAM-Locker"]["final_accuracy"] >= clean - 1.0

@@ -1,0 +1,24 @@
+"""Section II background: RowClone's bulk-copy savings.
+
+Paper (citing Seshadri et al.): in-DRAM copy reduces latency ~11.6x and
+energy ~74.4x against a copy over the memory channel.
+"""
+
+from repro.eval import run_rowclone_savings
+
+
+def test_rowclone_savings(benchmark):
+    result = benchmark.pedantic(run_rowclone_savings, rounds=1, iterations=1)
+    print()
+    print("=== RowClone bulk-copy savings (8KB row) ===")
+    print(f"channel copy : {result['channel_latency_ns']:8.1f} ns  "
+          f"{result['channel_energy_nj']:8.1f} nJ")
+    print(f"rowclone copy: {result['rowclone_latency_ns']:8.1f} ns  "
+          f"{result['rowclone_energy_nj']:8.1f} nJ")
+    print(f"latency factor: {result['latency_factor']:.1f}x "
+          f"(paper {result['paper_latency_factor']}x)")
+    print(f"energy  factor: {result['energy_factor']:.1f}x "
+          f"(paper {result['paper_energy_factor']}x)")
+
+    assert 8 <= result["latency_factor"] <= 16
+    assert 50 <= result["energy_factor"] <= 100

@@ -1,0 +1,37 @@
+"""Section IV-D: Monte-Carlo swap-error rate under process variation.
+
+Paper: 0%, 0.14%, 9.6% erroneous SWAPs at +/-0%, +/-10%, +/-20%
+(10,000 trials).
+"""
+
+from repro.eval import format_table, run_sec4d_montecarlo
+
+
+def test_sec4d_montecarlo_sweep(benchmark):
+    rows = benchmark.pedantic(
+        run_sec4d_montecarlo, kwargs={"trials": 10_000}, rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["variation", "failures", "error rate", "paper"],
+            [
+                (
+                    f"+/-{r['variation_pct']:.0f}%",
+                    f"{r['failures']}/{r['trials']}",
+                    f"{100 * r['error_rate']:.2f}%",
+                    "-" if r["paper_error_rate"] is None
+                    else f"{100 * r['paper_error_rate']:.2f}%",
+                )
+                for r in rows
+            ],
+            "=== Section IV-D: Monte-Carlo (10,000 trials/corner) ===",
+        )
+    )
+
+    by_pct = {r["variation_pct"]: r["error_rate"] for r in rows}
+    assert by_pct[0] == 0.0
+    assert 0.0003 <= by_pct[10] <= 0.004  # paper: 0.14%
+    assert 0.07 <= by_pct[20] <= 0.12  # paper: 9.6%
+    rates = [r["error_rate"] for r in rows]
+    assert rates == sorted(rates)

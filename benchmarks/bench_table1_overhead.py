@@ -1,0 +1,24 @@
+"""Table I: hardware overhead of RowHammer mitigation frameworks
+(32GB, 16-bank DDR4)."""
+
+from repro.eval import run_table1
+
+
+def test_table1_overhead(benchmark):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    print()
+    print(f"=== Table I ({result['config']}) ===")
+    print(result["text"])
+
+    reports = {r.framework: r for r in result["reports"]}
+    locker = reports["DRAM-Locker"]
+    # DRAM-Locker: zero DRAM capacity, one 56KB SRAM, smallest area.
+    assert locker.capacity == {"DRAM": 0, "SRAM": 56 * 1024}
+    assert locker.area_pct == 0.02
+    for name, report in reports.items():
+        if report.area_pct is not None and name != "DRAM-Locker":
+            assert report.area_pct > locker.area_pct
+    # Counter-per-row is the largest capacity consumer.
+    assert reports["Counter per Row"].capacity["DRAM"] == 32 * 1024 ** 2
+    assert "0.53MB‡+1.12MB†" in result["text"]
+    assert "0+56KB†" in result["text"]

@@ -1,0 +1,40 @@
+"""Run the paper's Fig. 6 cross-layer evaluation flow end to end.
+
+Circuit (Monte-Carlo swap errors) -> architecture (lock-table cost)
+-> system (DNN in simulated DRAM under attack) -> application
+(accuracy impact), in one call.
+
+Run with:  python examples/cross_layer_pipeline.py
+"""
+
+from repro.eval import CrossLayerPipeline, Scale
+
+
+def main() -> None:
+    pipeline = CrossLayerPipeline(
+        arch="resnet20",
+        variation_pct=20.0,
+        protected=True,
+        scale=Scale(input_hw=16, resnet_width=8, epochs=4, attack_iterations=12),
+    )
+    report = pipeline.run()
+
+    print("=== circuit level ===")
+    for key, value in report.circuit.items():
+        print(f"  {key}: {value}")
+    print("=== architecture level ===")
+    for key, value in report.architecture.items():
+        print(f"  {key}: {value:.4g}" if isinstance(value, float) else f"  {key}: {value}")
+    print("=== system level ===")
+    print(f"  protected: {report.system['protected']}")
+    print(f"  blocked requests: {report.system['blocked_requests']}")
+    print(f"  swaps: {report.system['swaps']}")
+    stats = report.system["memory_stats"]
+    print(f"  ACTs: {stats['activates']:.0f}, energy {stats['energy_total_nj'] / 1e3:.1f} uJ")
+    print("=== application level ===")
+    for key, value in report.application.items():
+        print(f"  {key}: {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment has no ``wheel`` package (and no network to fetch one),
+so PEP-660 editable installs fail; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` use the legacy
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Analytical architecture-level cost model (the CACTI stand-in)."""
+
+from .cacti import (
+    MemoryEstimate,
+    area_overhead_pct,
+    cam_estimate,
+    dram_die_area_mm2,
+    lock_table_estimate,
+    sram_estimate,
+)
+
+__all__ = [
+    "MemoryEstimate",
+    "area_overhead_pct",
+    "cam_estimate",
+    "dram_die_area_mm2",
+    "lock_table_estimate",
+    "sram_estimate",
+]

@@ -1,0 +1,20 @@
+"""Adversarial DNN weight attacks executed through the DRAM simulator."""
+
+from .bfa import BFAConfig, BFAResult, FlipRecord, ProgressiveBitSearch
+from .hammer import HammerDriver, HammerOutcome
+from .pta import PagedWeights, PageTableAttack, PTARecord, PTAResult
+from .random_attack import RandomAttack
+
+__all__ = [
+    "BFAConfig",
+    "BFAResult",
+    "FlipRecord",
+    "HammerDriver",
+    "HammerOutcome",
+    "PTARecord",
+    "PTAResult",
+    "PagedWeights",
+    "PageTableAttack",
+    "ProgressiveBitSearch",
+    "RandomAttack",
+]

@@ -1,0 +1,224 @@
+"""BFA: the progressive bit search of Rakin et al. (ICCV 2019).
+
+Per iteration:
+
+1. compute loss gradients w.r.t. the (dequantized) weights on the
+   attack batch (the paper samples 128 test images);
+2. inside each layer, rank candidate weights by ``|grad|`` and, for the
+   top-k, score every stored bit by the *analytic* loss change
+   ``grad * delta_w`` a flip would cause (``delta_w`` follows from
+   two's-complement int8 arithmetic -- MSB flips move a weight by half
+   the dynamic range);
+3. evaluate the best candidate of each of the most promising layers
+   with a real forward pass (flip, measure, revert) and commit the one
+   that maximises the loss;
+4. execute the committed flip -- either directly on the quantized
+   payload (pure software ablation) or *through the DRAM simulator*
+   via a RowHammer campaign against the weight store.
+
+Step 4 is where DRAM-Locker bites: a blocked campaign wastes the whole
+iteration, which is exactly the "attacker needs ever more iterations"
+effect of the paper's Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.data import Dataset
+from ..nn.quant import QuantizedModel
+from ..nn.storage import WeightStore
+from .hammer import HammerDriver
+
+__all__ = ["BFAConfig", "FlipRecord", "BFAResult", "ProgressiveBitSearch"]
+
+
+@dataclass(frozen=True)
+class BFAConfig:
+    """Attack hyper-parameters."""
+
+    attack_batch: int = 128
+    candidates_per_layer: int = 10
+    #: Per layer, how many top-estimate candidates get a real forward pass.
+    evals_per_layer: int = 3
+    layers_to_evaluate: int = 6
+    #: Cap on test images used for the per-iteration accuracy probe.
+    eval_limit: int = 512
+    seed: int = 0
+
+
+@dataclass
+class FlipRecord:
+    """One committed (or attempted) bit flip."""
+
+    iteration: int
+    tensor: str
+    flat_index: int
+    bit: int
+    executed: bool
+    loss_after: float
+    accuracy_after: float
+    activations_blocked: int = 0
+
+
+@dataclass
+class BFAResult:
+    """Accuracy trajectory of one attack run."""
+
+    accuracies: list[float] = field(default_factory=list)
+    losses: list[float] = field(default_factory=list)
+    flips: list[FlipRecord] = field(default_factory=list)
+
+    @property
+    def executed_flips(self) -> int:
+        return sum(1 for flip in self.flips if flip.executed)
+
+    def iterations_to_reach(self, accuracy_pct: float) -> int | None:
+        """First iteration at which accuracy fell to/under the target."""
+        for index, accuracy in enumerate(self.accuracies):
+            if accuracy <= accuracy_pct:
+                return index + 1
+        return None
+
+
+class ProgressiveBitSearch:
+    """The BFA attacker."""
+
+    def __init__(
+        self,
+        qmodel: QuantizedModel,
+        dataset: Dataset,
+        config: BFAConfig | None = None,
+        store: WeightStore | None = None,
+        driver: HammerDriver | None = None,
+        repair=None,
+        before_execute=None,
+    ):
+        """``store``/``driver`` route flips through the DRAM simulator;
+        both ``None`` means a pure software attack (Fig. 1(a) mode).
+        ``repair`` is an optional post-flip model repair hook (the
+        weight-reconstruction defense of Table II).  ``before_execute``
+        is called with the chosen ``(tensor, index, bit)`` right before
+        the RowHammer campaign -- the protected-system experiments use
+        it to interleave the background tenant traffic whose unlock
+        SWAPs are DRAM-Locker's failure surface."""
+        if (store is None) != (driver is None):
+            raise ValueError("provide both store and driver, or neither")
+        self.qmodel = qmodel
+        self.dataset = dataset
+        self.config = config or BFAConfig()
+        self.store = store
+        self.driver = driver
+        self.repair = repair
+        self.before_execute = before_execute
+        rng = np.random.default_rng(self.config.seed)
+        batch = min(self.config.attack_batch, dataset.test_x.shape[0])
+        self.attack_x, self.attack_y = dataset.sample_attack_batch(batch, rng)
+        # Progressive search never revisits a bit: flipping one back
+        # would just undo progress (and oscillate).
+        self._visited: set[tuple[str, int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # Candidate search
+    # ------------------------------------------------------------------
+    def _rank_candidates(self) -> list[tuple[float, str, int, int]]:
+        """Best (estimated dloss, tensor, index, bit) per layer, sorted."""
+        model = self.qmodel.model
+        model.zero_grad()
+        model.loss_and_grad(self.attack_x, self.attack_y)
+        layers = model.weight_layers()
+        per_layer: list[tuple[float, str, int, int]] = []
+        k = self.config.candidates_per_layer
+        for name, tensor in self.qmodel.tensors.items():
+            grad = layers[name].weight.grad.reshape(-1)
+            if grad.size == 0:
+                continue
+            top = np.argsort(np.abs(grad))[-k:]
+            q = tensor.q.reshape(-1)[top].astype(np.int16)
+            bits = np.arange(8)
+            # delta_w of flipping bit b of value v (two's complement).
+            flipped = q[:, None] ^ (1 << bits)[None, :]
+            flipped = np.where(flipped >= 128, flipped - 256, flipped)
+            delta_w = (flipped - q[:, None]) * tensor.scale
+            estimate = grad[top][:, None] * delta_w  # positive = loss up
+            order = np.argsort(estimate.reshape(-1))[::-1]
+            taken = 0
+            for flat in order:
+                weight_pos, bit = divmod(int(flat), 8)
+                candidate = (name, int(top[weight_pos]), bit)
+                if candidate not in self._visited:
+                    per_layer.append(
+                        (float(estimate.reshape(-1)[flat]), *candidate)
+                    )
+                    taken += 1
+                    if taken >= self.config.evals_per_layer:
+                        break
+        per_layer.sort(reverse=True)
+        return per_layer
+
+    def _choose_flip(self) -> tuple[str, int, int, float]:
+        """Real-forward-pass evaluation of the top per-layer candidates."""
+        candidates = self._rank_candidates()[: self.config.layers_to_evaluate]
+        best = None
+        for _, name, index, bit in candidates:
+            self.qmodel.flip_bit(name, index, bit)
+            loss = self.qmodel.model.loss(self.attack_x, self.attack_y)
+            self.qmodel.flip_bit(name, index, bit)  # revert
+            if best is None or loss > best[3]:
+                best = (name, index, bit, loss)
+        if best is None:
+            raise RuntimeError("no flip candidates found")
+        self.qmodel.load_into_model()
+        return best
+
+    # ------------------------------------------------------------------
+    # Attack loop
+    # ------------------------------------------------------------------
+    def run(self, iterations: int, stop_at_accuracy: float | None = None) -> BFAResult:
+        """Run the attack; accuracy is recorded after every iteration."""
+        result = BFAResult()
+        for iteration in range(1, iterations + 1):
+            if self.store is not None:
+                self.store.sync_model()
+            name, index, bit, _ = self._choose_flip()
+            self._visited.add((name, index, bit))
+            if self.before_execute is not None:
+                self.before_execute(name, index, bit)
+            executed, blocked = self._execute_flip(name, index, bit)
+            if self.store is not None:
+                self.store.sync_model()
+            if self.repair is not None:
+                self.repair(self.qmodel.model)
+            loss = self.qmodel.model.loss(self.attack_x, self.attack_y)
+            limit = self.config.eval_limit
+            accuracy = self.qmodel.model.accuracy(
+                self.dataset.test_x[:limit], self.dataset.test_y[:limit]
+            )
+            result.flips.append(
+                FlipRecord(
+                    iteration=iteration,
+                    tensor=name,
+                    flat_index=index,
+                    bit=bit,
+                    executed=executed,
+                    loss_after=loss,
+                    accuracy_after=accuracy,
+                    activations_blocked=blocked,
+                )
+            )
+            result.losses.append(loss)
+            result.accuracies.append(accuracy)
+            if stop_at_accuracy is not None and accuracy <= stop_at_accuracy:
+                break
+        return result
+
+    def _execute_flip(self, name: str, index: int, bit: int) -> tuple[bool, int]:
+        if self.store is None:
+            self.qmodel.flip_bit(name, index, bit)
+            return True, 0
+        assert self.driver is not None
+        row, row_bit = self.store.bit_location(name, index, bit)
+        outcome = self.driver.hammer_bit(row, row_bit)
+        return outcome.flipped, outcome.activations_blocked

@@ -1,0 +1,72 @@
+"""The RowHammer execution layer shared by all attacks.
+
+An attack never flips model weights directly: it names a victim (row,
+bit), the driver registers the attacker's data-pattern template,
+issues unprivileged activations against the adjacent aggressor rows
+through the controller, and reports what actually happened -- which is
+how a defense's protection (blocked activations, relocated rows,
+refreshed victims) becomes an emergent experimental outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..controller.controller import MemoryController
+from ..dram.device import DRAMDevice
+
+__all__ = ["HammerOutcome", "HammerDriver"]
+
+
+@dataclass
+class HammerOutcome:
+    """What one targeted hammering campaign achieved."""
+
+    flipped: bool
+    activations_issued: int
+    activations_blocked: int
+    victim_row: int
+    victim_bit: int
+
+    @property
+    def attempted(self) -> int:
+        return self.activations_issued + self.activations_blocked
+
+
+class HammerDriver:
+    """Issues double-sided RowHammer campaigns as an unprivileged tenant."""
+
+    def __init__(self, controller: MemoryController, patience: float = 3.0):
+        """``patience``: attacker gives up after ``patience * TRH``
+        attempted activations per aggressor side."""
+        self.controller = controller
+        self.device: DRAMDevice = controller.device
+        self.patience = patience
+
+    def hammer_bit(self, victim_row: int, victim_bit: int) -> HammerOutcome:
+        """Try to flip one bit of one row; stop as soon as it lands."""
+        device = self.device
+        device.vulnerability.register_template(victim_row, [victim_bit])
+        aggressors = device.mapper.neighbors(victim_row, radius=1)
+        trh = device.timing.trh
+        issued = 0
+        blocked = 0
+        initial = self._bit_value(victim_row, victim_bit)
+
+        # Hammer in TRH-sized bursts, checking the ground truth between
+        # bursts (the flip fires exactly at TRH-multiples of issued ACTs).
+        for _ in range(max(1, int(self.patience))):
+            for aggressor in aggressors:
+                results = self.controller.hammer(aggressor, count=trh)
+                issued += sum(1 for r in results if not r.blocked)
+                blocked += sum(1 for r in results if r.blocked)
+                if self._bit_value(victim_row, victim_bit) != initial:
+                    return HammerOutcome(
+                        True, issued, blocked, victim_row, victim_bit
+                    )
+        return HammerOutcome(False, issued, blocked, victim_row, victim_bit)
+
+    def _bit_value(self, row: int, bit: int) -> int:
+        byte_index, bit_index = divmod(bit, 8)
+        value = self.device.peek_bytes(row, byte_index, 1)[0]
+        return int((value >> bit_index) & 1)

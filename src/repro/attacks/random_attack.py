@@ -1,0 +1,83 @@
+"""Random bit-flip baseline (Fig. 1(a)'s comparison curve).
+
+Flips uniformly random bits of uniformly random weights -- the level of
+damage an attacker achieves with no gradient information, and the level
+the paper says DRAM-Locker downgrades a *targeted* attacker to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.data import Dataset
+from ..nn.quant import QuantizedModel
+from ..nn.storage import WeightStore
+from .bfa import BFAResult, FlipRecord
+from .hammer import HammerDriver
+
+__all__ = ["RandomAttack"]
+
+
+class RandomAttack:
+    """Uniformly random weight-bit flipper."""
+
+    def __init__(
+        self,
+        qmodel: QuantizedModel,
+        dataset: Dataset,
+        seed: int = 0,
+        store: WeightStore | None = None,
+        driver: HammerDriver | None = None,
+        eval_limit: int = 512,
+    ):
+        if (store is None) != (driver is None):
+            raise ValueError("provide both store and driver, or neither")
+        self.qmodel = qmodel
+        self.dataset = dataset
+        self.rng = np.random.default_rng(seed)
+        self.store = store
+        self.driver = driver
+        self.eval_limit = eval_limit
+        sizes = {name: t.q.size for name, t in qmodel.tensors.items()}
+        self._names = list(sizes)
+        total = sum(sizes.values())
+        self._weights = np.array([sizes[n] / total for n in self._names])
+
+    def run(self, iterations: int) -> BFAResult:
+        result = BFAResult()
+        for iteration in range(1, iterations + 1):
+            name = self.rng.choice(self._names, p=self._weights)
+            tensor = self.qmodel.tensors[name]
+            index = int(self.rng.integers(tensor.q.size))
+            bit = int(self.rng.integers(8))
+            if self.store is None:
+                self.qmodel.flip_bit(name, index, bit)
+                executed, blocked = True, 0
+            else:
+                assert self.driver is not None
+                row, row_bit = self.store.bit_location(name, index, bit)
+                outcome = self.driver.hammer_bit(row, row_bit)
+                executed, blocked = outcome.flipped, outcome.activations_blocked
+                self.store.sync_model()
+            loss = self.qmodel.model.loss(
+                self.dataset.test_x[:128], self.dataset.test_y[:128]
+            )
+            limit = self.eval_limit
+            accuracy = self.qmodel.model.accuracy(
+                self.dataset.test_x[:limit], self.dataset.test_y[:limit]
+            )
+            result.flips.append(
+                FlipRecord(
+                    iteration=iteration,
+                    tensor=name,
+                    flat_index=index,
+                    bit=bit,
+                    executed=executed,
+                    loss_after=loss,
+                    accuracy_after=accuracy,
+                    activations_blocked=blocked,
+                )
+            )
+            result.losses.append(loss)
+            result.accuracies.append(accuracy)
+        return result

@@ -1,0 +1,19 @@
+"""Circuit-level models: RowClone charge sharing + Monte-Carlo sweep."""
+
+from .montecarlo import (
+    PAPER_ERROR_RATES,
+    MonteCarlo,
+    MonteCarloResult,
+    copy_error_rate,
+)
+from .rowclone_cell import CellParams, CopyMargins, RowCloneCircuit
+
+__all__ = [
+    "CellParams",
+    "CopyMargins",
+    "MonteCarlo",
+    "MonteCarloResult",
+    "PAPER_ERROR_RATES",
+    "RowCloneCircuit",
+    "copy_error_rate",
+]

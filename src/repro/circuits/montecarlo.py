@@ -1,0 +1,101 @@
+"""Section IV-D: Monte-Carlo analysis of unsuccessful swapping.
+
+The paper runs 10 000 Spectre trials per corner with all components
+varied from +/-0 % to +/-20 % and reports erroneous SWAP rates of 0 %,
+0.14 % and 9.6 % at +/-0 %, +/-10 % and +/-20 %.  This module drives
+the behavioural circuit model over the same sweep and exposes the
+interpolated error-rate curve the rest of the system (the SWAP engine,
+the security model) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .rowclone_cell import CellParams, RowCloneCircuit
+
+__all__ = [
+    "PAPER_ERROR_RATES",
+    "MonteCarloResult",
+    "MonteCarlo",
+    "copy_error_rate",
+]
+
+#: The paper's reported per-copy error rates by variation bound.
+PAPER_ERROR_RATES: dict[int, float] = {0: 0.0, 10: 0.0014, 20: 0.096}
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Error statistics for one variation corner."""
+
+    variation_pct: float
+    trials: int
+    failures: int
+
+    @property
+    def error_rate(self) -> float:
+        return self.failures / self.trials if self.trials else 0.0
+
+
+class MonteCarlo:
+    """10 000-trial process-variation sweep of the in-DRAM copy."""
+
+    def __init__(
+        self,
+        circuit: RowCloneCircuit | None = None,
+        seed: int = 2024,
+        trials: int = 10_000,
+    ):
+        if trials < 1:
+            raise ValueError("trials must be >= 1")
+        self.circuit = circuit or RowCloneCircuit()
+        self.seed = seed
+        self.trials = trials
+
+    def run(self, variation_pct: float) -> MonteCarloResult:
+        """Sample one corner."""
+        rng = np.random.default_rng([self.seed, int(variation_pct * 100)])
+        failures = self.circuit.sample_failures(
+            variation_pct, self.trials, rng
+        )
+        return MonteCarloResult(
+            variation_pct=variation_pct,
+            trials=self.trials,
+            failures=int(np.count_nonzero(failures)),
+        )
+
+    def sweep(
+        self, percents: tuple[float, ...] = (0, 5, 10, 15, 20)
+    ) -> list[MonteCarloResult]:
+        """The paper's 0..+/-20 % sweep."""
+        return [self.run(pct) for pct in percents]
+
+
+def copy_error_rate(variation_pct: float) -> float:
+    """Per-copy error rate at a variation bound (paper-calibrated).
+
+    Piecewise log-linear interpolation through the paper's three
+    reported corners; this is what :class:`repro.locker.SwapEngine`
+    callers use to set ``copy_error_rate`` for a chosen corner.
+    """
+    if variation_pct < 0:
+        raise ValueError("variation_pct must be >= 0")
+    points = sorted(PAPER_ERROR_RATES.items())
+    if variation_pct <= points[0][0]:
+        return points[0][1]
+    if variation_pct >= points[-1][0]:
+        return points[-1][1]
+    for (x0, y0), (x1, y1) in zip(points, points[1:]):
+        if x0 <= variation_pct <= x1:
+            if y0 <= 0.0:
+                # Linear from an exact-zero corner.
+                return y1 * (variation_pct - x0) / (x1 - x0)
+            # Log-linear between positive corners.
+            log_y = np.log(y0) + (np.log(y1) - np.log(y0)) * (
+                (variation_pct - x0) / (x1 - x0)
+            )
+            return float(np.exp(log_y))
+    raise AssertionError("unreachable")

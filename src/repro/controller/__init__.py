@@ -1,0 +1,18 @@
+"""Memory controller: requests, execution, sequence, scheduling."""
+
+from .controller import LOCK_LOOKUP_NS, MemoryController
+from .request import Kind, MemRequest, RequestResult, Status
+from .scheduler import FRFCFSScheduler
+from .sequence import Sequence, SequenceReport
+
+__all__ = [
+    "FRFCFSScheduler",
+    "Kind",
+    "LOCK_LOOKUP_NS",
+    "MemRequest",
+    "MemoryController",
+    "RequestResult",
+    "Sequence",
+    "SequenceReport",
+    "Status",
+]

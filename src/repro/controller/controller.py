@@ -1,0 +1,193 @@
+"""The memory controller.
+
+Executes :class:`MemRequest` streams against a :class:`DRAMDevice` with
+an open-page policy and DDR timing, routing every request through the
+optional protection hooks:
+
+1. **DRAM-Locker** (if installed) -- lock-table lookup, address
+   remapping, unlock-SWAP for privileged requests, skip for blocked
+   ones;
+2. **baseline defense** (if installed) -- address translation plus a
+   per-ACT mitigation hook.
+
+The controller is where "skipped instructions cost nothing" becomes
+measurable: a blocked request consumes only the lock-table lookup
+latency and never reaches the DRAM array.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from ..defenses.base import Defense
+from ..dram.device import DRAMDevice
+from .request import Kind, MemRequest, RequestResult, Status
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..locker.locker import DRAMLocker
+
+__all__ = ["MemoryController"]
+
+#: Latency of one lock-table SRAM lookup (45 nm, ~56KB array).
+LOCK_LOOKUP_NS = 1.2
+
+
+class MemoryController:
+    """Order-preserving request executor with defense hooks."""
+
+    def __init__(
+        self,
+        device: DRAMDevice,
+        defense: Defense | None = None,
+        locker: "DRAMLocker | None" = None,
+    ):
+        self.device = device
+        self.defense = defense
+        self.locker = locker
+        if defense is not None:
+            defense.attach(device)
+        self.results_log_enabled = False
+        self.results: list[RequestResult] = []
+
+    # ------------------------------------------------------------------
+    # Convenience entry points
+    # ------------------------------------------------------------------
+    def read(
+        self,
+        row: int,
+        column: int = 0,
+        size: int = 64,
+        privileged: bool = False,
+    ) -> RequestResult:
+        return self.execute(
+            MemRequest(Kind.READ, row, column, size, privileged=privileged)
+        )
+
+    def write(
+        self,
+        row: int,
+        column: int = 0,
+        size: int = 64,
+        privileged: bool = False,
+    ) -> RequestResult:
+        return self.execute(
+            MemRequest(Kind.WRITE, row, column, size, privileged=privileged)
+        )
+
+    def hammer(self, row: int, count: int = 1) -> list[RequestResult]:
+        """Issue ``count`` attacker activations (ACT+PRE) of one row."""
+        return [
+            self.execute(MemRequest(Kind.ACT, row, privileged=False))
+            for _ in range(count)
+        ]
+
+    def run(self, requests: Iterable[MemRequest]) -> list[RequestResult]:
+        """Execute a request stream in order."""
+        return [self.execute(request) for request in requests]
+
+    # ------------------------------------------------------------------
+    # Core execution
+    # ------------------------------------------------------------------
+    def execute(self, request: MemRequest) -> RequestResult:
+        device = self.device
+        timing = device.timing
+        physical = request.row
+        defense_ns = 0.0
+        swapped = False
+
+        # --- DRAM-Locker request path -------------------------------
+        if self.locker is not None:
+            decision = self.locker.on_request(request)
+            defense_ns += decision.extra_ns
+            if not decision.allowed:
+                device.advance(decision.extra_ns)
+                device.stats.blocked_requests += 1
+                device.stats.defense_ns += decision.extra_ns
+                result = RequestResult(
+                    request,
+                    Status.BLOCKED,
+                    latency_ns=decision.extra_ns,
+                    defense_ns=decision.extra_ns,
+                    physical_row=None,
+                )
+                self._log(result)
+                return result
+            physical = decision.physical_row
+            swapped = decision.swapped
+
+        # --- baseline defense translation ---------------------------
+        if self.defense is not None:
+            physical = self.defense.translate(physical)
+
+        # --- DDR timing + device commands ---------------------------
+        addr = device.mapper.row_address(physical)
+        bank = device.banks[addr.bank]
+        bursts = max(1, math.ceil(request.size / 64))
+        flips = []
+        row_hit = bank.open_row == physical and request.kind is not Kind.ACT
+
+        if request.kind is Kind.ACT:
+            # Closed-row hammering pattern: ACT then immediate PRE.
+            service_ns = timing.trc
+            flips += device.activate(physical)
+            defense_ns += self._defense_hook(physical)
+            device.precharge(addr.bank)
+        elif row_hit:
+            service_ns = timing.row_hit_ns + (bursts - 1) * timing.tccd
+            device.stats.row_hits += 1
+        else:
+            service_ns = timing.trcd + timing.tcl + timing.tbl
+            service_ns += (bursts - 1) * timing.tccd
+            if bank.open_row is not None:
+                service_ns += timing.trp
+                device.precharge(addr.bank)
+            device.stats.row_misses += 1
+            flips += device.activate(physical)
+            defense_ns += self._defense_hook(physical)
+
+        if request.kind is Kind.READ:
+            for burst in range(bursts):
+                column = min(
+                    request.column + burst * 64, device.config.row_bytes - 64
+                )
+                device.read_burst(physical, column)
+        elif request.kind is Kind.WRITE:
+            zeros = np.zeros(64, dtype=np.uint8)
+            for burst in range(bursts):
+                column = min(
+                    request.column + burst * 64, device.config.row_bytes - 64
+                )
+                device.write_burst(physical, column, zeros)
+
+        device.advance(service_ns + defense_ns)
+        device.stats.busy_ns += service_ns
+        device.stats.defense_ns += defense_ns
+
+        result = RequestResult(
+            request,
+            Status.DONE,
+            latency_ns=service_ns + defense_ns,
+            defense_ns=defense_ns,
+            physical_row=physical,
+            row_hit=row_hit,
+            swapped=swapped,
+            flips=flips,
+        )
+        self._log(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _defense_hook(self, physical: int) -> float:
+        if self.defense is None:
+            return 0.0
+        action = self.defense.on_activate(physical, self.device.now_ns)
+        return action.extra_ns
+
+    def _log(self, result: RequestResult) -> None:
+        if self.results_log_enabled:
+            self.results.append(result)

@@ -1,0 +1,69 @@
+"""Memory requests and results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+from ..dram.rowhammer import BitFlip
+
+__all__ = ["Kind", "Status", "MemRequest", "RequestResult"]
+
+
+class Kind(Enum):
+    """Request type.
+
+    ``ACT`` is a bare activate + precharge pair -- the RowHammer attack
+    primitive (a read whose data nobody consumes).
+    """
+
+    READ = auto()
+    WRITE = auto()
+    ACT = auto()
+
+
+class Status(Enum):
+    DONE = auto()
+    BLOCKED = auto()
+
+
+@dataclass
+class MemRequest:
+    """One entry of the controller's instruction Sequence.
+
+    Attributes:
+        kind: READ / WRITE / ACT.
+        row: *Logical* global row index; defenses may remap it.
+        column: Starting byte within the row.
+        size: Bytes transferred (rounded up to 64-byte bursts).
+        privileged: True for the victim program's own accesses, which
+            are entitled to trigger a DRAM-Locker unlock-SWAP.  The
+            attacker's user-level requests are unprivileged and are
+            simply skipped when they hit a locked row.
+        tag: Free-form label for traces.
+    """
+
+    kind: Kind
+    row: int
+    column: int = 0
+    size: int = 64
+    privileged: bool = False
+    tag: str = ""
+
+
+@dataclass
+class RequestResult:
+    """Outcome of executing one request."""
+
+    request: MemRequest
+    status: Status
+    latency_ns: float = 0.0
+    defense_ns: float = 0.0
+    physical_row: int | None = None
+    row_hit: bool = False
+    swapped: bool = False
+    flips: list[BitFlip] = field(default_factory=list)
+
+    @property
+    def blocked(self) -> bool:
+        return self.status is Status.BLOCKED

@@ -1,0 +1,78 @@
+"""Request scheduling policies.
+
+The controller executes in order (FCFS); :class:`FRFCFSScheduler`
+implements the classic first-ready, first-come-first-served reorder
+within a bounded window: requests that hit an open row are promoted
+ahead of row misses, subject to a starvation cap.  The DNN inference
+trace replayer uses it to squeeze row-buffer locality out of weight
+streaming, like a real controller would.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from .controller import MemoryController
+from .request import MemRequest, RequestResult
+
+__all__ = ["FRFCFSScheduler"]
+
+
+class FRFCFSScheduler:
+    """First-ready FCFS reordering over a sliding window."""
+
+    def __init__(
+        self,
+        controller: MemoryController,
+        window: int = 16,
+        starvation_cap: int = 8,
+    ):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.controller = controller
+        self.window = window
+        self.starvation_cap = starvation_cap
+
+    def run(self, requests: Iterable[MemRequest]) -> list[RequestResult]:
+        """Execute ``requests`` with bounded row-hit-first reordering."""
+        pending: deque[tuple[MemRequest, int]] = deque()  # (request, skips)
+        results: list[RequestResult] = []
+        stream = iter(requests)
+        exhausted = False
+
+        while True:
+            while not exhausted and len(pending) < self.window:
+                try:
+                    pending.append((next(stream), 0))
+                except StopIteration:
+                    exhausted = True
+            if not pending:
+                break
+            index = self._pick(pending)
+            request, _ = pending[index]
+            del pending[index]
+            if index != 0:
+                pending = deque(
+                    (req, skips + 1 if position < index else skips)
+                    for position, (req, skips) in enumerate(pending)
+                )
+            results.append(self.controller.execute(request))
+        return results
+
+    def _pick(self, pending: deque[tuple[MemRequest, int]]) -> int:
+        """Oldest row-hit if nobody is starving, else the head."""
+        head_request, head_skips = pending[0]
+        if head_skips >= self.starvation_cap:
+            return 0
+        device = self.controller.device
+        for index, (request, _) in enumerate(pending):
+            physical = request.row
+            if self.controller.locker is not None:
+                physical = self.controller.locker.translate(physical)
+            if self.controller.defense is not None:
+                physical = self.controller.defense.translate(physical)
+            addr = device.mapper.row_address(physical)
+            if device.banks[addr.bank].open_row == physical:
+                return index
+        return 0

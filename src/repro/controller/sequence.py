@@ -1,0 +1,71 @@
+"""The instruction Sequence.
+
+The paper stores both the program's R/W instructions and the attacker's
+requests in a *Sequence*; DRAM-Locker consults the lock-table per entry
+and skips locked ones.  This class keeps that bookkeeping explicit: it
+records what was submitted, what executed, and what was skipped, and it
+reports the latency the skipped instructions *would* have cost -- the
+quantity behind the paper's "invalid instructions are eliminated" claim.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .controller import MemoryController
+from .request import Kind, MemRequest, RequestResult
+
+__all__ = ["SequenceReport", "Sequence"]
+
+
+@dataclass
+class SequenceReport:
+    """Aggregate outcome of draining one sequence."""
+
+    executed: int = 0
+    blocked: int = 0
+    total_latency_ns: float = 0.0
+    blocked_latency_saved_ns: float = 0.0
+    results: list[RequestResult] = field(default_factory=list)
+
+    @property
+    def submitted(self) -> int:
+        return self.executed + self.blocked
+
+
+class Sequence:
+    """FIFO of memory requests bound to one controller."""
+
+    def __init__(self, controller: MemoryController):
+        self.controller = controller
+        self._queue: deque[MemRequest] = deque()
+
+    def push(self, request: MemRequest) -> None:
+        self._queue.append(request)
+
+    def extend(self, requests: Iterable[MemRequest]) -> None:
+        self._queue.extend(requests)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def drain(self) -> SequenceReport:
+        """Execute everything queued, in order."""
+        report = SequenceReport()
+        timing = self.controller.device.timing
+        while self._queue:
+            request = self._queue.popleft()
+            result = self.controller.execute(request)
+            report.results.append(result)
+            report.total_latency_ns += result.latency_ns
+            if result.blocked:
+                report.blocked += 1
+                # What the skipped instruction would have cost: at least
+                # a full row cycle (the attacker pattern is closed-row).
+                would_have = timing.trc if request.kind is Kind.ACT else timing.row_miss_ns
+                report.blocked_latency_saved_ns += would_have - result.latency_ns
+            else:
+                report.executed += 1
+        return report

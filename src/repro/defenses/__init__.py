@@ -1,0 +1,38 @@
+"""RowHammer mitigation baselines and the Table I overhead model."""
+
+from .base import Defense, DefenseAction, NoDefense, OverheadReport
+from .counters import CounterPerRow, CounterTree
+from .graphene import Graphene
+from .hydra import Hydra
+from .para import PARA
+from .permutation import RowPermutation
+from .ppim import PPIM
+from .rrs import RRS, SRS
+from .shadow import Shadow
+from .trackers import MisraGries
+from .trr import TRR
+from .twice import TWiCE
+from .overhead import dram_locker_overhead, format_table1, table1_reports
+
+__all__ = [
+    "CounterPerRow",
+    "CounterTree",
+    "Defense",
+    "DefenseAction",
+    "Graphene",
+    "Hydra",
+    "MisraGries",
+    "NoDefense",
+    "OverheadReport",
+    "PARA",
+    "PPIM",
+    "RRS",
+    "RowPermutation",
+    "SRS",
+    "Shadow",
+    "TRR",
+    "TWiCE",
+    "dram_locker_overhead",
+    "format_table1",
+    "table1_reports",
+]

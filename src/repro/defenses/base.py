@@ -1,0 +1,161 @@
+"""Common interface for RowHammer mitigation mechanisms.
+
+Every defense -- the baselines and DRAM-Locker itself -- plugs into the
+memory controller through the same three hooks:
+
+* :meth:`Defense.translate` -- address indirection (swap/shuffle-based
+  mechanisms relocate rows and the controller must follow);
+* :meth:`Defense.on_activate` -- called for every ACT the controller
+  issues; the defense may charge mitigation latency, perform victim
+  refreshes, or trigger its own row moves;
+* :meth:`Defense.overhead` -- the storage/area accounting behind
+  Table I.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..dram.config import DRAMConfig
+from ..dram.device import DRAMDevice
+
+__all__ = ["DefenseAction", "OverheadReport", "Defense", "NoDefense"]
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+@dataclass
+class DefenseAction:
+    """What a defense did in response to one activation."""
+
+    extra_ns: float = 0.0
+    refreshed_victims: int = 0
+    moved_rows: int = 0
+    note: str = ""
+
+
+@dataclass
+class OverheadReport:
+    """One row of Table I.
+
+    Attributes:
+        framework: Mechanism name as printed in the paper.
+        involved_memory: Storage technologies the mechanism occupies,
+            e.g. ``"DRAM-SRAM"``.
+        capacity: Mapping from technology to bytes of storage, e.g.
+            ``{"SRAM": 57344}``.  ``None`` values mean Not Reported.
+        counters: Number of hardware counters, if the mechanism is
+            counter-based (Table I's "area overhead" column reports
+            counter counts for those mechanisms).
+        area_pct: Die area overhead in percent, for mechanisms whose
+            area cost is structural rather than counter storage.
+    """
+
+    framework: str
+    involved_memory: str
+    capacity: dict[str, float | None] = field(default_factory=dict)
+    counters: int | None = None
+    area_pct: float | None = None
+
+    def capacity_text(self) -> str:
+        """Format the capacity column the way the paper prints it."""
+        marks = {"DRAM": "*", "SRAM": "†", "CAM": "‡"}
+        parts = []
+        for tech, amount in self.capacity.items():
+            mark = marks.get(tech, "")
+            if amount is None:
+                parts.append(f"NR{mark}")
+            elif amount == 0:
+                parts.append(f"0{mark}" if tech != "DRAM" else "0")
+            elif amount >= 100 * KIB:
+                value = round(amount / MIB, 3)
+                parts.append(f"{value:g}MB{mark}")
+            else:
+                parts.append(f"{amount / KIB:g}KB{mark}")
+        return "+".join(parts) if parts else "0"
+
+    def area_text(self) -> str:
+        """Format the area column the way the paper prints it."""
+        if self.counters is not None:
+            unit = "counter" if self.counters == 1 else "counters"
+            return f"{self.counters} {unit}"
+        if self.area_pct is not None:
+            return f"{self.area_pct:g}%"
+        return "NULL"
+
+
+class Defense(ABC):
+    """Base class for controller-integrated mitigations."""
+
+    name: str = "defense"
+
+    def __init__(self) -> None:
+        self.device: DRAMDevice | None = None
+        self.mitigation_ns_total = 0.0
+        self.actions = 0
+        self._windows_seen = 0
+
+    def attach(self, device: DRAMDevice) -> None:
+        """Bind the defense to the device it protects."""
+        self.device = device
+
+    def on_refresh_window(self) -> None:
+        """Called once per completed refresh window; default: nothing."""
+
+    def _window_check(self) -> None:
+        """Fire :meth:`on_refresh_window` when a tREFW boundary passed.
+
+        Concrete defenses call this at the top of ``on_activate`` so
+        window-scoped state (count tables, prune lists) resets in step
+        with the device's refresh walker.
+        """
+        assert self.device is not None, "defense not attached"
+        completed = self.device.refresh.windows_completed
+        while self._windows_seen < completed:
+            self._windows_seen += 1
+            self.on_refresh_window()
+
+    def translate(self, row: int) -> int:
+        """Map a pre-defense row number to its current physical row."""
+        return row
+
+    def on_activate(self, row: int, now_ns: float) -> DefenseAction:
+        """React to one ACT of (physical) ``row``; default: do nothing."""
+        return DefenseAction()
+
+    @abstractmethod
+    def overhead(self, config: DRAMConfig) -> OverheadReport:
+        """Storage and area cost for Table I under ``config``."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers for concrete mitigations
+    # ------------------------------------------------------------------
+    def _refresh_victims(self, row: int, action: DefenseAction) -> None:
+        """Neighbour-refresh mitigation used by TRR-style defenses."""
+        assert self.device is not None, "defense not attached"
+        device = self.device
+        for victim in device.mapper.neighbors(row, radius=1):
+            device.rowhammer.neutralize_victim(victim)
+            device.stats.refreshes += 1
+            device.stats.energy.refresh += device.energy.e_ref
+            action.extra_ns += device.timing.trc
+            action.refreshed_victims += 1
+
+    def _charge(self, action: DefenseAction) -> DefenseAction:
+        self.mitigation_ns_total += action.extra_ns
+        if action.extra_ns or action.refreshed_victims or action.moved_rows:
+            self.actions += 1
+        return action
+
+
+class NoDefense(Defense):
+    """Unprotected baseline."""
+
+    name = "none"
+
+    def overhead(self, config: DRAMConfig) -> OverheadReport:
+        return OverheadReport(
+            framework="None", involved_memory="-", capacity={}, counters=None
+        )

@@ -1,0 +1,86 @@
+"""Hydra (Qureshi et al., ISCA 2022): hybrid two-level tracking.
+
+A small SRAM table of *group* counters covers the whole row space; only
+when a group's aggregate count crosses the group threshold does Hydra
+fall back to exact *per-row* counters stored in DRAM (initialised
+conservatively to the group count).  Row-counter accesses cost DRAM
+bandwidth -- the price of ultra-low-threshold protection with tiny SRAM.
+"""
+
+from __future__ import annotations
+
+from ..dram.config import DRAMConfig
+from .base import KIB, MIB, Defense, DefenseAction, OverheadReport
+
+__all__ = ["Hydra"]
+
+
+class Hydra(Defense):
+    name = "Hydra"
+
+    def __init__(
+        self,
+        group_size: int = 128,
+        group_threshold: int | None = None,
+        row_threshold: int | None = None,
+    ):
+        super().__init__()
+        if group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        self.group_size = group_size
+        self.group_threshold = group_threshold
+        self.row_threshold = row_threshold
+        self._group_counts: dict[int, int] = {}
+        self._row_counts: dict[int, int] = {}
+        self._escalated: set[int] = set()
+        self.row_counter_accesses = 0
+
+    def attach(self, device) -> None:
+        super().attach(device)
+        trh = device.timing.trh
+        if self.row_threshold is None:
+            self.row_threshold = max(1, trh // 2)
+        if self.group_threshold is None:
+            self.group_threshold = max(1, self.row_threshold // 2)
+
+    def on_activate(self, row: int, now_ns: float) -> DefenseAction:
+        self._window_check()
+        assert self.device is not None
+        action = DefenseAction()
+        group = row // self.group_size
+        if group not in self._escalated:
+            count = self._group_counts.get(group, 0) + 1
+            self._group_counts[group] = count
+            if count >= self.group_threshold:
+                self._escalated.add(group)
+        else:
+            # Exact per-row counter in DRAM: charge one row cycle.
+            self.row_counter_accesses += 1
+            action.extra_ns += self.device.timing.trc
+            count = self._row_counts.get(row, self.group_threshold) + 1
+            self._row_counts[row] = count
+            if count >= self.row_threshold:
+                self._refresh_victims(row, action)
+                self._row_counts[row] = 0
+                action.note = "hydra-mitigation"
+        return self._charge(action)
+
+    def on_refresh_window(self) -> None:
+        self._group_counts.clear()
+        self._row_counts.clear()
+        self._escalated.clear()
+
+    def overhead(self, config: DRAMConfig) -> OverheadReport:
+        """Table I row: 56 KB SRAM + 4 MB DRAM.
+
+        The DRAM side is derivable: one byte-wide counter per row
+        (4 Mi rows in the 32 GB configuration -> 4 MB).  The SRAM side
+        is Hydra's published group-counter + row-counter-cache budget.
+        """
+        dram_bytes = config.total_rows * 1  # 1B exact counter per row
+        return OverheadReport(
+            framework="Hydra",
+            involved_memory="SRAM-DRAM",
+            capacity={"SRAM": 56 * KIB, "DRAM": dram_bytes},
+            counters=1,
+        )

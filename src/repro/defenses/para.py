@@ -1,0 +1,45 @@
+"""PARA: Probabilistic Adjacent Row Activation (Kim et al., ISCA 2014).
+
+Stateless victim-focused mitigation: on every activation, with a small
+probability ``p``, refresh the activated row's neighbours.  Choosing
+``p`` so that ``TRH`` activations almost surely include one mitigation
+makes hammering statistically ineffective, at the cost of refresh
+traffic proportional to the activation rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dram.config import DRAMConfig
+from .base import Defense, DefenseAction, OverheadReport
+
+__all__ = ["PARA"]
+
+
+class PARA(Defense):
+    name = "PARA"
+
+    def __init__(self, probability: float = 0.001, seed: int = 0):
+        super().__init__()
+        if not 0.0 < probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        self.probability = probability
+        self.rng = np.random.default_rng(seed)
+
+    def on_activate(self, row: int, now_ns: float) -> DefenseAction:
+        self._window_check()
+        action = DefenseAction()
+        if self.rng.random() < self.probability:
+            self._refresh_victims(row, action)
+            action.note = "para-refresh"
+        return self._charge(action)
+
+    def overhead(self, config: DRAMConfig) -> OverheadReport:
+        """PARA stores nothing: one RNG and a comparator."""
+        return OverheadReport(
+            framework="PARA",
+            involved_memory="-",
+            capacity={},
+            counters=0,
+        )

@@ -1,0 +1,51 @@
+"""Sparse row permutation used by swap/shuffle-based defenses.
+
+Tracks where each logical row's data currently lives, as a minimal
+dict-backed permutation (identity entries are absent).  RRS, SRS and
+SHADOW all compose swaps onto one of these and expose it through
+``Defense.translate``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RowPermutation"]
+
+
+class RowPermutation:
+    """A permutation of row numbers, mutated by swapping locations."""
+
+    def __init__(self) -> None:
+        self._where: dict[int, int] = {}  # logical -> physical
+        self._resident: dict[int, int] = {}  # physical -> logical
+
+    def where(self, logical: int) -> int:
+        """Physical location currently holding ``logical``'s data."""
+        return self._where.get(logical, logical)
+
+    def resident(self, physical: int) -> int:
+        """Logical row whose data currently sits at ``physical``."""
+        return self._resident.get(physical, physical)
+
+    def swap_locations(self, physical_a: int, physical_b: int) -> None:
+        """Record that the data at two physical locations was exchanged."""
+        if physical_a == physical_b:
+            return
+        logical_a = self.resident(physical_a)
+        logical_b = self.resident(physical_b)
+        self._assign(logical_a, physical_b)
+        self._assign(logical_b, physical_a)
+
+    def moved_rows(self) -> int:
+        """Number of logical rows currently away from home."""
+        return len(self._where)
+
+    def is_identity(self) -> bool:
+        return not self._where
+
+    def _assign(self, logical: int, physical: int) -> None:
+        if logical == physical:
+            self._where.pop(logical, None)
+            self._resident.pop(physical, None)
+        else:
+            self._where[logical] = physical
+            self._resident[physical] = logical

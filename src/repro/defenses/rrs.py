@@ -1,0 +1,123 @@
+"""RRS: Randomized Row-Swap (Saileshwar et al., ASPLOS 2022).
+
+Aggressor-focused: a Misra-Gries tracker spots rows nearing the
+threshold and *swaps* them with a random row, breaking the spatial
+correlation between aggressor and victim before the damage lands.  The
+swap is a genuine three-RowClone data exchange through a reserved
+buffer row; the Row Indirection Table is modelled by the permutation
+the controller consults via :meth:`translate`.
+
+SRS (Secure Row-Swap, Woo et al. 2022) is the hardened variant: fewer
+counters plus defenses against the swap-targeting attacks RRS allows.
+Here it differs by a smaller tracker and a lower swap threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dram.config import DRAMConfig
+from .base import KIB, MIB, Defense, DefenseAction, OverheadReport
+from .permutation import RowPermutation
+from .trackers import MisraGries
+
+__all__ = ["RRS", "SRS"]
+
+
+class RRS(Defense):
+    name = "RRS"
+
+    def __init__(
+        self,
+        table_entries: int = 128,
+        swap_threshold: int | None = None,
+        seed: int = 0,
+    ):
+        super().__init__()
+        self.table_entries = table_entries
+        self.swap_threshold = swap_threshold
+        self.rng = np.random.default_rng(seed)
+        self.permutation = RowPermutation()
+        self._tables: dict[int, MisraGries] = {}
+        self.swaps_performed = 0
+
+    def attach(self, device) -> None:
+        super().attach(device)
+        if self.swap_threshold is None:
+            # Swap well before TRH: RRS uses ~TRH/6.
+            self.swap_threshold = max(1, device.timing.trh // 6)
+
+    def translate(self, row: int) -> int:
+        return self.permutation.where(row)
+
+    def on_activate(self, row: int, now_ns: float) -> DefenseAction:
+        self._window_check()
+        assert self.device is not None
+        action = DefenseAction()
+        bank = self.device.mapper.row_address(row).bank
+        table = self._tables.setdefault(bank, MisraGries(self.table_entries))
+        if table.observe(row) >= self.swap_threshold:
+            self._swap_with_random(row, action)
+            table.reset_item(row)
+        return self._charge(action)
+
+    def _swap_with_random(self, row: int, action: DefenseAction) -> None:
+        assert self.device is not None
+        device = self.device
+        mapper = device.mapper
+        addr = mapper.row_address(row)
+        reserved = mapper.reserved_rows(addr.bank, addr.subarray)
+        buffer_row = reserved[0]
+        # Random partner among the usable rows of the same subarray
+        # (RowClone constrains the swap to one subarray).
+        usable = device.config.usable_rows_per_subarray
+        while True:
+            local = int(self.rng.integers(usable))
+            partner = mapper.row_index((addr.bank, addr.subarray, local))
+            if partner != row:
+                break
+        for src, dst in ((row, buffer_row), (partner, row), (buffer_row, partner)):
+            device.rowclone(src, dst)
+        self.permutation.swap_locations(row, partner)
+        self.swaps_performed += 1
+        action.extra_ns += 3 * device.timing.rowclone_ns
+        action.moved_rows += 2
+        action.note = f"{self.name.lower()}-swap"
+
+    def overhead(self, config: DRAMConfig) -> OverheadReport:
+        """Table I row: 4 MB DRAM (indirection) + unreported SRAM."""
+        return OverheadReport(
+            framework="RRS",
+            involved_memory="DRAM-SRAM",
+            capacity={"DRAM": 4 * MIB, "SRAM": None},
+            counters=None,
+        )
+
+
+class SRS(RRS):
+    name = "SRS"
+
+    def __init__(
+        self,
+        table_entries: int = 48,
+        swap_threshold: int | None = None,
+        seed: int = 0,
+    ):
+        super().__init__(
+            table_entries=table_entries, swap_threshold=swap_threshold, seed=seed
+        )
+
+    def attach(self, device) -> None:
+        Defense.attach(self, device)
+        if self.swap_threshold is None:
+            # SRS swaps earlier with its reduced counter budget.
+            self.swap_threshold = max(1, device.timing.trh // 8)
+
+    def overhead(self, config: DRAMConfig) -> OverheadReport:
+        """Table I row: 1.26 MB DRAM + unreported SRAM."""
+        return OverheadReport(
+            framework="SRS",
+            involved_memory="DRAM-SRAM",
+            capacity={"DRAM": 1.26 * MIB, "SRAM": None},
+            counters=None,
+        )

@@ -1,0 +1,86 @@
+"""SHADOW (Wi et al., HPCA 2023): intra-subarray row shuffling.
+
+SHADOW is counter-light: instead of identifying aggressors precisely,
+it periodically *shuffles* activated rows with random rows of the same
+subarray ("unintelligent swap operations on all potential target
+rows"), so an attacker can never keep hammering a row that stays
+adjacent to its intended victim.  The paper's Figs. 7(a)/(b) compare
+DRAM-Locker against SHADOW at thresholds 1k/2k/4k/8k: the threshold is
+the shuffle period in activations -- smaller periods shuffle more and
+cost more latency.
+
+The shuffle moves real data (three RowClones through the reserved
+buffer row) and composes onto a permutation the controller follows, so
+its protection *and* its cost are emergent in simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dram.config import DRAMConfig
+from .base import Defense, DefenseAction, OverheadReport
+from .permutation import RowPermutation
+
+__all__ = ["Shadow"]
+
+
+class Shadow(Defense):
+    name = "SHADOW"
+
+    def __init__(self, shuffle_period: int = 1000, seed: int = 0):
+        super().__init__()
+        if shuffle_period < 1:
+            raise ValueError("shuffle_period must be >= 1")
+        self.shuffle_period = shuffle_period
+        self.rng = np.random.default_rng(seed)
+        self.permutation = RowPermutation()
+        self._subarray_acts: dict[tuple[int, int], int] = {}
+        self.shuffles_performed = 0
+
+    def translate(self, row: int) -> int:
+        return self.permutation.where(row)
+
+    def on_activate(self, row: int, now_ns: float) -> DefenseAction:
+        self._window_check()
+        assert self.device is not None
+        action = DefenseAction()
+        addr = self.device.mapper.row_address(row)
+        key = (addr.bank, addr.subarray)
+        count = self._subarray_acts.get(key, 0) + 1
+        if count >= self.shuffle_period:
+            count = 0
+            self._shuffle(row, action)
+        self._subarray_acts[key] = count
+        return self._charge(action)
+
+    def _shuffle(self, row: int, action: DefenseAction) -> None:
+        assert self.device is not None
+        device = self.device
+        mapper = device.mapper
+        addr = mapper.row_address(row)
+        reserved = mapper.reserved_rows(addr.bank, addr.subarray)
+        buffer_row = reserved[0]
+        usable = device.config.usable_rows_per_subarray
+        while True:
+            local = int(self.rng.integers(usable))
+            partner = mapper.row_index((addr.bank, addr.subarray, local))
+            if partner != row:
+                break
+        for src, dst in ((row, buffer_row), (partner, row), (buffer_row, partner)):
+            device.rowclone(src, dst)
+        self.permutation.swap_locations(row, partner)
+        self.shuffles_performed += 1
+        action.extra_ns += 3 * device.timing.rowclone_ns
+        action.moved_rows += 2
+        action.note = "shadow-shuffle"
+
+    def overhead(self, config: DRAMConfig) -> OverheadReport:
+        """Table I row: 0.16 MB of DRAM (shuffle scratch + per-subarray
+        state), 0.6 % die area for the shuffle sequencing logic."""
+        return OverheadReport(
+            framework="SHADOW",
+            involved_memory="DRAM",
+            capacity={"DRAM": 0.16 * 1024 * 1024},
+            area_pct=0.6,
+        )

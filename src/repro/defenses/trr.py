@@ -1,0 +1,62 @@
+"""Target Row Refresh (TRR), as deployed by DRAM vendors.
+
+A small sampler table tracks recently-activated rows; rows whose count
+crosses the mitigation threshold get their victims refreshed.  The
+table is deliberately tiny (vendor TRR tracks 1-16 aggressors), which
+is exactly the weakness TRRespass-style many-sided patterns exploit --
+and the reason the paper's Table I baselines moved to bigger trackers.
+"""
+
+from __future__ import annotations
+
+from ..dram.config import DRAMConfig
+from .base import KIB, Defense, DefenseAction, OverheadReport
+
+__all__ = ["TRR"]
+
+
+class TRR(Defense):
+    name = "TRR"
+
+    def __init__(self, table_entries: int = 16, threshold: int | None = None):
+        super().__init__()
+        if table_entries < 1:
+            raise ValueError("table_entries must be >= 1")
+        self.table_entries = table_entries
+        self.threshold = threshold
+        self._counts: dict[int, int] = {}
+
+    def attach(self, device) -> None:
+        super().attach(device)
+        if self.threshold is None:
+            self.threshold = max(1, device.timing.trh // 2)
+
+    def on_activate(self, row: int, now_ns: float) -> DefenseAction:
+        self._window_check()
+        action = DefenseAction()
+        count = self._counts.get(row)
+        if count is None:
+            if len(self._counts) >= self.table_entries:
+                # Evict the coldest entry -- the sampler's blind spot.
+                coldest = min(self._counts, key=self._counts.get)
+                del self._counts[coldest]
+            self._counts[row] = 1
+        else:
+            self._counts[row] = count + 1
+            if self._counts[row] >= self.threshold:
+                self._refresh_victims(row, action)
+                self._counts[row] = 0
+                action.note = "trr-mitigation"
+        return self._charge(action)
+
+    def on_refresh_window(self) -> None:
+        self._counts.clear()
+
+    def overhead(self, config: DRAMConfig) -> OverheadReport:
+        entry_bytes = 6  # row address + count
+        return OverheadReport(
+            framework="TRR",
+            involved_memory="SRAM",
+            capacity={"SRAM": self.table_entries * entry_bytes},
+            counters=self.table_entries,
+        )

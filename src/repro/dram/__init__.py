@@ -1,0 +1,43 @@
+"""DRAM device model: geometry, timing, energy, RowHammer, refresh."""
+
+from .address import AddressMapper, ByteAddress, RowAddress
+from .config import DRAMConfig
+from .device import DRAMDevice
+from .energy import DDR4_ENERGY, EnergyParams
+from .rowhammer import BitFlip, Disturbance, RowHammerModel, double_sided_pair
+from .stats import EnergyBreakdown, MemoryStats
+from .subarray import Bank, Subarray
+from .timing import (
+    DDR3_1600,
+    DDR4_2400,
+    LPDDR4_3200,
+    TRH_BY_GENERATION,
+    TimingParams,
+    trh_table,
+)
+from .vulnerability import VulnerabilityMap
+
+__all__ = [
+    "AddressMapper",
+    "Bank",
+    "BitFlip",
+    "ByteAddress",
+    "DDR3_1600",
+    "DDR4_2400",
+    "DDR4_ENERGY",
+    "Disturbance",
+    "DRAMConfig",
+    "DRAMDevice",
+    "EnergyBreakdown",
+    "EnergyParams",
+    "LPDDR4_3200",
+    "MemoryStats",
+    "RowAddress",
+    "RowHammerModel",
+    "Subarray",
+    "TimingParams",
+    "TRH_BY_GENERATION",
+    "VulnerabilityMap",
+    "double_sided_pair",
+    "trh_table",
+]

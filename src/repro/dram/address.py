@@ -1,0 +1,151 @@
+"""Physical address mapping.
+
+Rows are identified two ways throughout the code base:
+
+* a :class:`RowAddress` triple ``(bank, subarray, row)`` used by the
+  device model, and
+* a flat *global row index* in ``[0, config.total_rows)`` used by the
+  RowHammer counters, the lock-table, and the defenses.
+
+:class:`AddressMapper` converts between the two, and between full byte
+addresses and ``(row, column)`` pairs.  The mapping is row-interleaved
+(bank index in the low bits of the row number) like a real controller,
+so consecutive rows of one subarray are *physically adjacent* -- which
+is exactly the adjacency the RowHammer model disturbs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, NamedTuple
+
+from .config import DRAMConfig
+
+__all__ = ["RowAddress", "ByteAddress", "AddressMapper"]
+
+
+class RowAddress(NamedTuple):
+    """Hierarchical address of one DRAM row."""
+
+    bank: int
+    subarray: int
+    row: int
+
+
+@dataclass(frozen=True)
+class ByteAddress:
+    """A fully-resolved physical byte location."""
+
+    row: RowAddress
+    column: int
+
+
+class AddressMapper:
+    """Bidirectional address translation bound to one :class:`DRAMConfig`."""
+
+    def __init__(self, config: DRAMConfig):
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Row index <-> RowAddress
+    # ------------------------------------------------------------------
+    def row_index(self, addr: RowAddress | tuple[int, int, int]) -> int:
+        """Flatten a row address to a global row index."""
+        cfg = self.config
+        if not isinstance(addr, RowAddress):
+            addr = RowAddress(*addr)
+        self._check(addr)
+        return (
+            addr.bank * cfg.rows_per_bank
+            + addr.subarray * cfg.rows_per_subarray
+            + addr.row
+        )
+
+    def row_address(self, index: int) -> RowAddress:
+        """Expand a global row index back to ``(bank, subarray, row)``."""
+        cfg = self.config
+        if not 0 <= index < cfg.total_rows:
+            raise ValueError(f"row index {index} out of range")
+        bank, rest = divmod(index, cfg.rows_per_bank)
+        subarray, row = divmod(rest, cfg.rows_per_subarray)
+        return RowAddress(bank, subarray, row)
+
+    # ------------------------------------------------------------------
+    # Byte address <-> (row, column)
+    # ------------------------------------------------------------------
+    def byte_address(self, physical: int) -> ByteAddress:
+        """Resolve a flat physical byte address."""
+        cfg = self.config
+        if not 0 <= physical < cfg.capacity_bytes:
+            raise ValueError(f"physical address {physical:#x} out of range")
+        row_index, column = divmod(physical, cfg.row_bytes)
+        return ByteAddress(self.row_address(row_index), column)
+
+    def physical(self, addr: ByteAddress) -> int:
+        """Flatten a :class:`ByteAddress` to a physical byte address."""
+        if not 0 <= addr.column < self.config.row_bytes:
+            raise ValueError(f"column {addr.column} out of range")
+        return self.row_index(addr.row) * self.config.row_bytes + addr.column
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+    def neighbors(self, index: int, radius: int = 1) -> list[int]:
+        """Global indices of rows physically adjacent to ``index``.
+
+        Adjacency never crosses a subarray boundary: the sense-amplifier
+        stripes between subarrays isolate the disturbance, which is also
+        why RowClone FPM and SHADOW shuffling are intra-subarray.
+        """
+        if radius < 1:
+            raise ValueError("radius must be >= 1")
+        cfg = self.config
+        addr = self.row_address(index)
+        result = []
+        for offset in range(-radius, radius + 1):
+            if offset == 0:
+                continue
+            local = addr.row + offset
+            if 0 <= local < cfg.rows_per_subarray:
+                result.append(
+                    self.row_index(RowAddress(addr.bank, addr.subarray, local))
+                )
+        return result
+
+    def aggressors_of(self, victims: Iterable[int], radius: int = 1) -> set[int]:
+        """Rows that could disturb any of ``victims`` when hammered.
+
+        This is the set DRAM-Locker's protection planner locks: every row
+        within ``radius`` of a protected row, excluding the protected
+        rows themselves (the paper deliberately leaves hot data unlocked
+        so normal execution needs no unlock).
+        """
+        victim_set = set(victims)
+        aggressors: set[int] = set()
+        for victim in victim_set:
+            aggressors.update(self.neighbors(victim, radius=radius))
+        return aggressors - victim_set
+
+    def same_subarray(self, a: int, b: int) -> bool:
+        """True when two global rows live in the same subarray."""
+        addr_a = self.row_address(a)
+        addr_b = self.row_address(b)
+        return (addr_a.bank, addr_a.subarray) == (addr_b.bank, addr_b.subarray)
+
+    def reserved_rows(self, bank: int, subarray: int) -> list[int]:
+        """Global indices of the reserved swap-pool rows of one subarray."""
+        cfg = self.config
+        first = cfg.usable_rows_per_subarray
+        return [
+            self.row_index(RowAddress(bank, subarray, local))
+            for local in range(first, cfg.rows_per_subarray)
+        ]
+
+    def _check(self, addr: RowAddress) -> None:
+        cfg = self.config
+        if not 0 <= addr.bank < cfg.banks:
+            raise ValueError(f"bank {addr.bank} out of range")
+        if not 0 <= addr.subarray < cfg.subarrays_per_bank:
+            raise ValueError(f"subarray {addr.subarray} out of range")
+        if not 0 <= addr.row < cfg.rows_per_subarray:
+            raise ValueError(f"row {addr.row} out of range")

@@ -1,0 +1,137 @@
+"""DRAM geometry configuration.
+
+A :class:`DRAMConfig` pins down the bank/subarray/row organisation that
+the device model, the address mapper, the defenses, and the Table I
+overhead calculators all share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DRAMConfig"]
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Geometry of one simulated DRAM memory system.
+
+    The hierarchy is ``device -> bank -> subarray -> row``.  Channels and
+    ranks are folded into the bank count: the paper's evaluation uses a
+    single-channel 16-bank DDR4 view, and nothing in the mechanism
+    depends on rank-level parallelism.
+
+    Attributes:
+        name: Identifier for reports.
+        banks: Number of banks.
+        subarrays_per_bank: Subarrays per bank; RowClone FPM copies are
+            only possible *within* one subarray.
+        rows_per_subarray: DRAM rows per subarray (typically 512).
+        row_bytes: Bytes per row (the unit of ACT, RowClone and
+            RowHammer disturbance).
+        reserved_rows_per_subarray: Rows at the top of each subarray set
+            aside as the DRAM-Locker buffer row plus the free-row pool
+            used by SWAP (also used by SHADOW as shuffle space).
+    """
+
+    name: str
+    banks: int = 16
+    subarrays_per_bank: int = 16
+    rows_per_subarray: int = 512
+    row_bytes: int = 8 * KIB
+    reserved_rows_per_subarray: int = 8
+
+    def __post_init__(self) -> None:
+        if self.banks <= 0 or self.subarrays_per_bank <= 0:
+            raise ValueError("banks and subarrays_per_bank must be positive")
+        if self.rows_per_subarray <= 0 or self.row_bytes <= 0:
+            raise ValueError("rows_per_subarray and row_bytes must be positive")
+        if not 0 <= self.reserved_rows_per_subarray < self.rows_per_subarray:
+            raise ValueError(
+                "reserved_rows_per_subarray must fit inside the subarray"
+            )
+        if self.row_bytes % 64 != 0:
+            raise ValueError("row_bytes must be a whole number of 64B bursts")
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def rows_per_bank(self) -> int:
+        return self.subarrays_per_bank * self.rows_per_subarray
+
+    @property
+    def total_rows(self) -> int:
+        return self.banks * self.rows_per_bank
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.total_rows * self.row_bytes
+
+    @property
+    def usable_rows_per_subarray(self) -> int:
+        """Rows available to data (excludes the reserved swap pool)."""
+        return self.rows_per_subarray - self.reserved_rows_per_subarray
+
+    @property
+    def row_bits(self) -> int:
+        """Bits stored in one row."""
+        return self.row_bytes * 8
+
+    def describe(self) -> str:
+        """One-line human-readable geometry summary."""
+        cap = self.capacity_bytes
+        if cap >= GIB:
+            cap_text = f"{cap / GIB:g}GB"
+        elif cap >= MIB:
+            cap_text = f"{cap / MIB:g}MB"
+        else:
+            cap_text = f"{cap / KIB:g}KB"
+        return (
+            f"{self.name}: {cap_text}, {self.banks} banks x "
+            f"{self.subarrays_per_bank} subarrays x "
+            f"{self.rows_per_subarray} rows x {self.row_bytes}B"
+        )
+
+    # ------------------------------------------------------------------
+    # Presets
+    # ------------------------------------------------------------------
+    @staticmethod
+    def tiny() -> "DRAMConfig":
+        """Small geometry for unit tests (256 rows, 256B rows)."""
+        return DRAMConfig(
+            name="tiny",
+            banks=2,
+            subarrays_per_bank=2,
+            rows_per_subarray=64,
+            row_bytes=256,
+            reserved_rows_per_subarray=4,
+        )
+
+    @staticmethod
+    def small() -> "DRAMConfig":
+        """Experiment geometry: big enough to hold a quantized DNN."""
+        return DRAMConfig(
+            name="small",
+            banks=4,
+            subarrays_per_bank=8,
+            rows_per_subarray=128,
+            row_bytes=1 * KIB,
+            reserved_rows_per_subarray=8,
+        )
+
+    @staticmethod
+    def ddr4_32gb() -> "DRAMConfig":
+        """The paper's Table I configuration: 32GB, 16-bank DDR4."""
+        return DRAMConfig(
+            name="DDR4-32GB",
+            banks=16,
+            subarrays_per_bank=512,
+            rows_per_subarray=512,
+            row_bytes=8 * KIB,
+            reserved_rows_per_subarray=8,
+        )

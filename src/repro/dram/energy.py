@@ -1,0 +1,67 @@
+"""DRAM energy parameters.
+
+All energies are in nanojoules.  The constants are calibrated against
+the RowClone paper's headline numbers: an in-DRAM intra-subarray copy of
+one row is ~11.6x faster and ~74.4x more energy-efficient than copying
+the same row over the memory channel (Seshadri et al., MICRO 2013).
+``benchmarks/bench_rowclone_savings.py`` regenerates both factors from
+these constants and the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EnergyParams", "DDR4_ENERGY"]
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-operation energy costs for one DRAM device.
+
+    Attributes:
+        e_act: One ACT + implicit restore of a full row.
+        e_pre: One PRE (bitline precharge).
+        e_rd_burst: One 64-byte read burst, array side.
+        e_wr_burst: One 64-byte write burst, array side.
+        e_io_burst: Channel I/O + on-die termination for one 64-byte
+            burst (paid only when data crosses the channel).
+        e_cpu_burst: Core + cache-hierarchy energy for the CPU to move
+            one 64-byte burst during a ``memcpy``-style copy loop.
+        e_ref: One REF command (refreshes one row group).
+        e_lock_lookup: One lock-table SRAM lookup (DRAM-Locker).
+        p_background_mw: Background power in milliwatts, charged per
+            nanosecond of simulated time.
+    """
+
+    e_act: float = 18.0
+    e_pre: float = 2.2
+    e_rd_burst: float = 1.6
+    e_wr_burst: float = 1.7
+    e_io_burst: float = 5.1
+    e_cpu_burst: float = 4.2
+    e_ref: float = 26.0
+    e_lock_lookup: float = 0.011
+    p_background_mw: float = 108.0
+
+    def background_nj(self, elapsed_ns: float) -> float:
+        """Background energy accrued over ``elapsed_ns`` nanoseconds."""
+        return self.p_background_mw * 1e-3 * elapsed_ns
+
+    def channel_copy_nj(self, row_bytes: int) -> float:
+        """Energy to copy one row over the memory channel (read + write)."""
+        bursts = row_bytes // 64
+        per_burst = (
+            self.e_rd_burst
+            + self.e_wr_burst
+            + 2 * self.e_io_burst
+            + 2 * self.e_cpu_burst
+        )
+        return 2 * (self.e_act + self.e_pre) + bursts * per_burst
+
+    def rowclone_copy_nj(self) -> float:
+        """Energy of one intra-subarray RowClone copy (ACT-ACT-PRE)."""
+        return 2 * self.e_act + self.e_pre
+
+
+DDR4_ENERGY = EnergyParams()

@@ -1,0 +1,142 @@
+"""RowHammer disturbance model.
+
+This is the abstraction stated in the paper's threat model (Section
+III): every row has a threshold ``TRH``; once an aggressor row is
+activated ``TRH`` times within a refresh window it imposes bit-flips on
+its two adjacent victim rows.  Optionally, a Half-Double mode (Kogler et
+al., USENIX Security 2022) also disturbs distance-2 victims at a higher
+threshold, which is the breakthrough pattern the paper cites against
+victim-focused defenses.
+
+Counters are aggressor-centric and reset when the refresh walker passes
+the row.  Physically the charge loss accumulates on the *victim*, but
+the refresh walker visits adjacent rows back-to-back, so the two views
+coincide up to one tREFI -- a simplification recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .address import AddressMapper
+from .config import DRAMConfig
+from .vulnerability import VulnerabilityMap
+
+__all__ = ["BitFlip", "Disturbance", "RowHammerModel"]
+
+
+@dataclass(frozen=True)
+class BitFlip:
+    """One observed bit flip in a victim row."""
+
+    row: int
+    bit: int
+    time_ns: float
+
+
+@dataclass
+class Disturbance:
+    """All flips triggered by one threshold crossing."""
+
+    aggressor: int
+    victims: list[int]
+    flips: list[BitFlip] = field(default_factory=list)
+
+
+class RowHammerModel:
+    """Tracks activations and produces disturbance events."""
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        mapper: AddressMapper,
+        vulnerability: VulnerabilityMap,
+        trh: int,
+        half_double_factor: float | None = None,
+    ):
+        if trh <= 0:
+            raise ValueError("trh must be positive")
+        if half_double_factor is not None and half_double_factor <= 1.0:
+            raise ValueError("half_double_factor must exceed 1.0")
+        self.config = config
+        self.mapper = mapper
+        self.vulnerability = vulnerability
+        self.trh = trh
+        self.half_double_factor = half_double_factor
+        self.counters: dict[int, int] = {}
+        self.total_disturbances = 0
+
+    # ------------------------------------------------------------------
+    # Activation accounting
+    # ------------------------------------------------------------------
+    def on_activate(self, row_index: int, now_ns: float) -> list[Disturbance]:
+        """Record one ACT of ``row_index``; return triggered disturbances."""
+        count = self.counters.get(row_index, 0) + 1
+        self.counters[row_index] = count
+
+        events: list[Disturbance] = []
+        if count % self.trh == 0:
+            events.append(self._disturb(row_index, now_ns, radius=1))
+        if self.half_double_factor is not None:
+            hd_threshold = int(self.trh * self.half_double_factor)
+            if hd_threshold > 0 and count % hd_threshold == 0:
+                events.append(self._disturb(row_index, now_ns, radius=2))
+        return [event for event in events if event.flips or event.victims]
+
+    def activation_count(self, row_index: int) -> int:
+        """Activations of a row since its last refresh."""
+        return self.counters.get(row_index, 0)
+
+    # ------------------------------------------------------------------
+    # Refresh interactions
+    # ------------------------------------------------------------------
+    def reset_rows(self, start: int, end: int) -> None:
+        """The refresh walker refreshed global rows ``[start, end)``."""
+        if end - start >= len(self.counters):
+            self.counters = {
+                row: count
+                for row, count in self.counters.items()
+                if not start <= row < end
+            }
+        else:
+            for row in range(start, end):
+                self.counters.pop(row, None)
+
+    def reset_all(self) -> None:
+        """Full refresh window elapsed with no tracked activity left."""
+        self.counters.clear()
+
+    def neutralize_victim(self, victim_index: int) -> None:
+        """A defense refreshed ``victim_index``; its aggressors restart.
+
+        With aggressor-centric counters, clearing the accumulated
+        disturbance of a victim is modelled by resetting the counters of
+        every row that could have been hammering it.
+        """
+        for aggressor in self.mapper.neighbors(victim_index, radius=2):
+            self.counters.pop(aggressor, None)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _disturb(self, aggressor: int, now_ns: float, radius: int) -> Disturbance:
+        near = set(self.mapper.neighbors(aggressor, radius=radius - 1)) if radius > 1 else set()
+        ring = [
+            victim
+            for victim in self.mapper.neighbors(aggressor, radius=radius)
+            if victim not in near and victim != aggressor
+        ]
+        event = Disturbance(aggressor=aggressor, victims=ring)
+        for victim in ring:
+            for bit in self.vulnerability.flippable_bits(victim):
+                event.flips.append(BitFlip(row=victim, bit=int(bit), time_ns=now_ns))
+        if event.flips:
+            self.total_disturbances += 1
+        return event
+
+
+def double_sided_pair(mapper: AddressMapper, victim_index: int) -> list[int]:
+    """The classic double-sided aggressor pair around one victim row."""
+    return mapper.neighbors(victim_index, radius=1)

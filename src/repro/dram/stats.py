@@ -1,0 +1,97 @@
+"""Counters and energy accounting shared by the device and controller."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EnergyBreakdown", "MemoryStats"]
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy in nanojoules, split by source."""
+
+    activate: float = 0.0
+    precharge: float = 0.0
+    read: float = 0.0
+    write: float = 0.0
+    io: float = 0.0
+    refresh: float = 0.0
+    rowclone: float = 0.0
+    lock_table: float = 0.0
+    background: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.activate
+            + self.precharge
+            + self.read
+            + self.write
+            + self.io
+            + self.refresh
+            + self.rowclone
+            + self.lock_table
+            + self.background
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "activate": self.activate,
+            "precharge": self.precharge,
+            "read": self.read,
+            "write": self.write,
+            "io": self.io,
+            "refresh": self.refresh,
+            "rowclone": self.rowclone,
+            "lock_table": self.lock_table,
+            "background": self.background,
+            "total": self.total,
+        }
+
+
+@dataclass
+class MemoryStats:
+    """Command and event counters for one simulated memory system."""
+
+    activates: int = 0
+    precharges: int = 0
+    reads: int = 0
+    writes: int = 0
+    refreshes: int = 0
+    rowclones: int = 0
+    bit_flips: int = 0
+    disturbances: int = 0
+    blocked_requests: int = 0
+    swaps: int = 0
+    swap_copy_failures: int = 0
+    lock_lookups: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    busy_ns: float = 0.0
+    defense_ns: float = 0.0
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+
+    def as_dict(self) -> dict[str, float]:
+        data: dict[str, float] = {
+            "activates": self.activates,
+            "precharges": self.precharges,
+            "reads": self.reads,
+            "writes": self.writes,
+            "refreshes": self.refreshes,
+            "rowclones": self.rowclones,
+            "bit_flips": self.bit_flips,
+            "disturbances": self.disturbances,
+            "blocked_requests": self.blocked_requests,
+            "swaps": self.swaps,
+            "swap_copy_failures": self.swap_copy_failures,
+            "lock_lookups": self.lock_lookups,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "busy_ns": self.busy_ns,
+            "defense_ns": self.defense_ns,
+        }
+        data.update(
+            {f"energy_{k}_nj": v for k, v in self.energy.as_dict().items()}
+        )
+        return data

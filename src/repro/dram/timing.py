@@ -1,0 +1,169 @@
+"""DRAM timing parameters and RowHammer thresholds per generation.
+
+All times are in nanoseconds.  The DDR4 values follow a DDR4-2400 CL17
+datasheet; DDR3/LPDDR4 presets are included both for completeness and
+because Fig. 1(b) of the paper tabulates the RowHammer threshold (TRH)
+across generations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "TimingParams",
+    "DDR3_1600",
+    "DDR4_2400",
+    "LPDDR4_3200",
+    "TRH_BY_GENERATION",
+    "trh_table",
+]
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Datasheet timing constraints for one DRAM speed bin.
+
+    Attributes:
+        name: Human-readable speed-bin name, e.g. ``"DDR4-2400"``.
+        tck: Clock period.
+        trcd: ACT to internal RD/WR delay.
+        tras: ACT to PRE minimum.
+        trp: PRE to ACT minimum.
+        tcl: CAS latency (RD command to first data).
+        tbl: Burst transfer time for one 64-byte burst.
+        tccd: Minimum gap between two column commands.
+        twr: Write recovery time.
+        trefi: Average refresh command interval.
+        trfc: Refresh cycle time (one REF command).
+        tref_w: Refresh window -- every row is refreshed once per window.
+        taap: Back-to-back ACT-ACT for a RowClone FPM copy (the paper's
+            ``AAP`` micro-op); the full intra-subarray row copy completes
+            within this time plus one precharge.
+        trh: Default RowHammer threshold for this generation (number of
+            activations of an aggressor row within one refresh window
+            needed to disturb its neighbours).
+    """
+
+    name: str
+    tck: float
+    trcd: float
+    tras: float
+    trp: float
+    tcl: float
+    tbl: float
+    tccd: float
+    twr: float
+    trefi: float
+    trfc: float
+    tref_w: float
+    taap: float
+    trh: int
+
+    @property
+    def trc(self) -> float:
+        """Row cycle time: minimum gap between ACTs to the same bank."""
+        return self.tras + self.trp
+
+    @property
+    def row_miss_ns(self) -> float:
+        """Latency of a read that must close one row and open another."""
+        return self.trp + self.trcd + self.tcl + self.tbl
+
+    @property
+    def row_hit_ns(self) -> float:
+        """Latency of a read that hits the open row."""
+        return self.tcl + self.tbl
+
+    @property
+    def rowclone_ns(self) -> float:
+        """Latency of one intra-subarray RowClone copy (AAP + PRE)."""
+        return self.taap + self.trp
+
+    def with_trh(self, trh: int) -> "TimingParams":
+        """Return a copy of these timings with a different TRH."""
+        return replace(self, trh=trh)
+
+
+DDR3_1600 = TimingParams(
+    name="DDR3-1600",
+    tck=1.25,
+    trcd=13.75,
+    tras=35.0,
+    trp=13.75,
+    tcl=13.75,
+    tbl=5.0,
+    tccd=6.25,
+    twr=15.0,
+    trefi=7800.0,
+    trfc=260.0,
+    tref_w=64e6,
+    taap=90.0,
+    trh=22_400,
+)
+
+DDR4_2400 = TimingParams(
+    name="DDR4-2400",
+    tck=0.833,
+    trcd=14.16,
+    tras=32.0,
+    trp=14.16,
+    tcl=14.16,
+    tbl=3.33,
+    tccd=5.0,
+    twr=15.0,
+    trefi=7800.0,
+    trfc=350.0,
+    tref_w=64e6,
+    taap=82.5,
+    trh=10_000,
+)
+
+LPDDR4_3200 = TimingParams(
+    name="LPDDR4-3200",
+    tck=0.625,
+    trcd=18.0,
+    tras=42.0,
+    trp=18.0,
+    tcl=17.0,
+    tbl=2.5,
+    tccd=5.0,
+    twr=18.0,
+    trefi=3904.0,
+    trfc=280.0,
+    tref_w=32e6,
+    taap=90.0,
+    trh=4_800,
+)
+
+#: RowHammer threshold by DRAM generation, as tabulated in Fig. 1(b) of
+#: the paper (values from Kim et al., ISCA 2020).  ``LPDDR4 (new)`` is
+#: reported as a 4.8K-9K range; both endpoints are kept.
+TRH_BY_GENERATION: dict[str, tuple[int, int]] = {
+    "DDR3 (old)": (139_000, 139_000),
+    "DDR3 (new)": (22_400, 22_400),
+    "DDR4 (old)": (17_500, 17_500),
+    "DDR4 (new)": (10_000, 10_000),
+    "LPDDR4 (old)": (16_800, 16_800),
+    "LPDDR4 (new)": (4_800, 9_000),
+}
+
+
+def trh_table() -> list[tuple[str, str]]:
+    """Return Fig. 1(b) as ``(generation, formatted TRH)`` rows."""
+    rows = []
+    for generation, (low, high) in TRH_BY_GENERATION.items():
+        if low == high:
+            text = _format_k(low)
+        else:
+            text = f"{_format_k(low)} - {_format_k(high)}"
+        rows.append((generation, text))
+    return rows
+
+
+def _format_k(value: int) -> str:
+    """Format an activation count the way the paper does (e.g. 22.4K)."""
+    thousands = value / 1000.0
+    if thousands == int(thousands):
+        return f"{int(thousands)}K"
+    return f"{thousands:.1f}K"

@@ -1,0 +1,54 @@
+"""Experiment runners and reporting for every table and figure."""
+
+from .experiments import (
+    ProtectedSystem,
+    Scale,
+    build_system,
+    build_victim,
+    run_fig1a,
+    run_fig1b,
+    run_fig5,
+    run_fig7a,
+    run_fig7b,
+    run_fig8,
+    run_pta,
+    run_rowclone_savings,
+    run_sec4d_montecarlo,
+    run_table1,
+    run_table2,
+)
+from .framework import CrossLayerPipeline, PipelineReport
+from .reporting import downsample, format_series, format_table
+from .security import (
+    LockerSecurityModel,
+    ShadowSecurityModel,
+    TREF_SECONDS,
+    defense_days_from_win_prob,
+)
+
+__all__ = [
+    "CrossLayerPipeline",
+    "LockerSecurityModel",
+    "PipelineReport",
+    "ProtectedSystem",
+    "Scale",
+    "ShadowSecurityModel",
+    "TREF_SECONDS",
+    "build_system",
+    "build_victim",
+    "defense_days_from_win_prob",
+    "downsample",
+    "format_series",
+    "format_table",
+    "run_fig1a",
+    "run_fig1b",
+    "run_fig5",
+    "run_fig7a",
+    "run_fig7b",
+    "run_fig8",
+    "run_pta",
+    "run_rowclone_savings",
+    "run_sec4d_montecarlo",
+    "run_table1",
+    "run_table2",
+]

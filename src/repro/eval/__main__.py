@@ -1,0 +1,140 @@
+"""Command-line entry point: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro.eval list
+    python -m repro.eval table1
+    python -m repro.eval fig7b
+    python -m repro.eval fig8 --arch resnet20 --full
+    python -m repro.eval all            # everything cheap (no training)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    Scale,
+    run_fig1a,
+    run_fig1b,
+    run_fig5,
+    run_fig7a,
+    run_fig7b,
+    run_fig8,
+    run_pta,
+    run_rowclone_savings,
+    run_sec4d_montecarlo,
+    run_table1,
+    run_table2,
+)
+from .reporting import downsample, format_series, format_table
+
+CHEAP = ("fig1b", "fig5", "sec4d", "table1", "fig7a", "fig7b", "rowclone")
+TRAINING = ("fig1a", "fig8", "pta", "table2")
+
+
+def _print_fig1a(scale: Scale) -> None:
+    out = run_fig1a(scale)
+    print(f"clean {out['clean_accuracy']:.1f}% (chance {out['chance_accuracy']:.1f}%)")
+    for name in ("bfa", "random"):
+        xs, ys = zip(*downsample(out[name], 10))
+        print(format_series(name, xs, ys, "{:.1f}"))
+
+
+def _print_fig8(scale: Scale, arch: str) -> None:
+    out = run_fig8(arch, scale)
+    print(f"{arch}: clean {out['clean_accuracy']:.1f}%")
+    for label, accs in out["curves"].items():
+        xs, ys = zip(*downsample(accs, 10))
+        print(format_series(label, xs, ys, "{:.1f}"))
+    for label, stats in out["stats"].items():
+        print(f"  {label}: {stats}")
+
+
+def _print_pta(scale: Scale) -> None:
+    out = run_pta(scale)
+    print(f"clean {out['clean_accuracy']:.1f}%")
+    for label, accs in out["curves"].items():
+        print(label, [f"{a:.1f}" for a in accs])
+
+
+def _print_table2(scale: Scale) -> None:
+    out = run_table2(scale)
+    print(
+        format_table(
+            ["Model", "Clean", "Post-attack", "Bit-flips"],
+            [
+                (r["model"], f"{r['clean_accuracy']:.2f}",
+                 f"{r['post_attack_accuracy']:.2f}", r["bit_flips"])
+                for r in out["rows"]
+            ],
+        )
+    )
+
+
+def _print_fig7a() -> None:
+    out = run_fig7a()
+    counts = out["attack_counts"]
+    print("attacks".ljust(12) + "".join(f"{n:>12}" for n in counts))
+    for name, values in out["series"].items():
+        print(name.ljust(12) + "".join(f"{v:12.2e}" for v in values))
+
+
+def _print_fig7b() -> None:
+    out = run_fig7b()
+    for threshold, days in out["shadow_days"].items():
+        print(f"SHADOW @ {threshold}: {days:8.0f} days")
+    print(f"DRAM-Locker: {out['locker_days']:.3g} days (>4000: "
+          f"{out['locker_exceeds_plot']})")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.eval")
+    parser.add_argument("experiment", help="which table/figure (or 'list'/'all')")
+    parser.add_argument("--arch", default="resnet20", choices=["resnet20", "vgg11"])
+    parser.add_argument("--full", action="store_true", help="near-paper scale")
+    args = parser.parse_args(argv)
+    scale = Scale.full() if args.full else Scale.quick()
+
+    if args.experiment == "list":
+        print("cheap:", ", ".join(CHEAP))
+        print("training-based:", ", ".join(TRAINING))
+        return 0
+
+    runners = {
+        "fig1b": lambda: print(format_table(["generation", "TRH"], run_fig1b())),
+        "fig5": lambda: print(run_fig5()["swap_program_listing"]),
+        "sec4d": lambda: print(
+            format_table(
+                ["variation", "error rate"],
+                [
+                    (f"+/-{r['variation_pct']:.0f}%", f"{100 * r['error_rate']:.2f}%")
+                    for r in run_sec4d_montecarlo()
+                ],
+            )
+        ),
+        "table1": lambda: print(run_table1()["text"]),
+        "fig7a": _print_fig7a,
+        "fig7b": _print_fig7b,
+        "rowclone": lambda: print(run_rowclone_savings()),
+        "fig1a": lambda: _print_fig1a(scale),
+        "fig8": lambda: _print_fig8(scale, args.arch),
+        "pta": lambda: _print_pta(scale),
+        "table2": lambda: _print_table2(scale),
+    }
+    if args.experiment == "all":
+        for name in CHEAP:
+            print(f"\n=== {name} ===")
+            runners[name]()
+        return 0
+    runner = runners.get(args.experiment)
+    if runner is None:
+        print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
+        return 2
+    runner()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""Plain-text rendering of experiment outputs (tables and series)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "downsample"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[float], fmt: str = "{:.2f}"
+) -> str:
+    """Render one x/y series as two aligned rows (a text 'curve')."""
+    x_cells = [str(x) for x in xs]
+    y_cells = [fmt.format(y) for y in ys]
+    widths = [max(len(a), len(b)) for a, b in zip(x_cells, y_cells)]
+    line_x = "  ".join(c.rjust(w) for c, w in zip(x_cells, widths))
+    line_y = "  ".join(c.rjust(w) for c, w in zip(y_cells, widths))
+    return f"{name}\n  x: {line_x}\n  y: {line_y}"
+
+
+def downsample(values: Sequence[float], points: int) -> list[tuple[int, float]]:
+    """Pick ~``points`` evenly-spaced (index, value) samples for display."""
+    if not values:
+        return []
+    step = max(1, len(values) // points)
+    sampled = [(i + 1, values[i]) for i in range(0, len(values), step)]
+    if sampled[-1][0] != len(values):
+        sampled.append((len(values), values[-1]))
+    return sampled

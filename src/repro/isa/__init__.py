@@ -1,0 +1,51 @@
+"""DRAM-Locker's 16-bit micro-ISA: encoding, assembler, executor."""
+
+from .assembler import AssemblyError, assemble, disassemble
+from .executor import (
+    ExecutionError,
+    ExecutionResult,
+    MicroExecutor,
+    MicroRegisterFile,
+)
+from .instructions import (
+    NUM_MICRO_REGS,
+    Instruction,
+    Opcode,
+    bnez,
+    copy,
+    decode,
+    done,
+    encode,
+)
+from .programs import (
+    REG_BUFFER,
+    REG_COUNT,
+    REG_FREE,
+    REG_LOCKED,
+    repeat_copy_program,
+    swap_program,
+)
+
+__all__ = [
+    "AssemblyError",
+    "ExecutionError",
+    "ExecutionResult",
+    "Instruction",
+    "MicroExecutor",
+    "MicroRegisterFile",
+    "NUM_MICRO_REGS",
+    "Opcode",
+    "REG_BUFFER",
+    "REG_COUNT",
+    "REG_FREE",
+    "REG_LOCKED",
+    "assemble",
+    "bnez",
+    "copy",
+    "decode",
+    "disassemble",
+    "done",
+    "encode",
+    "repeat_copy_program",
+    "swap_program",
+]

@@ -1,0 +1,58 @@
+"""Two-way assembler for the DRAM-Locker micro-ISA.
+
+Grammar (one instruction per line, ``;`` starts a comment)::
+
+    copy rD, rS
+    bnez rC, <offset>
+    done
+    nop
+"""
+
+from __future__ import annotations
+
+import re
+
+from .instructions import Instruction, Opcode, bnez, copy, decode, done, encode
+
+__all__ = ["assemble", "disassemble", "AssemblyError"]
+
+
+class AssemblyError(ValueError):
+    """Raised for malformed assembly text."""
+
+
+_COPY_RE = re.compile(r"^copy\s+r(\d+)\s*,\s*r(\d+)$")
+_BNEZ_RE = re.compile(r"^bnez\s+r(\d+)\s*,\s*(-?\d+)$")
+
+
+def assemble(text: str) -> list[int]:
+    """Assemble source text into a list of 16-bit instruction words."""
+    words: list[int] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip().lower()
+        if not line:
+            continue
+        try:
+            words.append(encode(_parse(line)))
+        except ValueError as exc:
+            raise AssemblyError(f"line {line_no}: {exc}") from exc
+    return words
+
+
+def disassemble(words: list[int]) -> str:
+    """Render instruction words back to canonical assembly text."""
+    return "\n".join(str(decode(word)) for word in words)
+
+
+def _parse(line: str) -> Instruction:
+    if line == "done":
+        return done()
+    if line == "nop":
+        return Instruction(Opcode.NOP)
+    match = _COPY_RE.match(line)
+    if match:
+        return copy(int(match.group(1)), int(match.group(2)))
+    match = _BNEZ_RE.match(line)
+    if match:
+        return bnez(int(match.group(1)), int(match.group(2)))
+    raise AssemblyError(f"cannot parse instruction {line!r}")

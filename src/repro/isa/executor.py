@@ -1,0 +1,104 @@
+"""Micro-program executor.
+
+The executor owns a micro-register file and walks a list of 16-bit
+words.  A ``COPY`` dispatches to an injected ``copy_fn(src_row, dst_row)``
+-- usually :meth:`repro.dram.DRAMDevice.rowclone`, or the DRAM-Locker
+swap engine's failure-injecting wrapper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .instructions import NUM_MICRO_REGS, Opcode, decode
+
+__all__ = ["MicroRegisterFile", "ExecutionResult", "MicroExecutor", "ExecutionError"]
+
+CopyFn = Callable[[int, int], None]
+
+
+class ExecutionError(RuntimeError):
+    """Raised on runaway or malformed micro-programs."""
+
+
+class MicroRegisterFile:
+    """The 128-entry register file addressed by 7-bit specifiers."""
+
+    def __init__(self) -> None:
+        self._regs = [0] * NUM_MICRO_REGS
+
+    def __getitem__(self, reg: int) -> int:
+        return self._regs[self._check(reg)]
+
+    def __setitem__(self, reg: int, value: int) -> None:
+        self._regs[self._check(reg)] = int(value)
+
+    def load(self, values: dict[int, int]) -> None:
+        """Bulk-set registers from a ``{reg: value}`` mapping."""
+        for reg, value in values.items():
+            self[reg] = value
+
+    @staticmethod
+    def _check(reg: int) -> int:
+        if not 0 <= reg < NUM_MICRO_REGS:
+            raise IndexError(f"micro-register r{reg} out of range")
+        return reg
+
+
+@dataclass
+class ExecutionResult:
+    """What one micro-program run did."""
+
+    steps: int = 0
+    copies: int = 0
+    copy_trace: list[tuple[int, int]] = field(default_factory=list)
+    halted: bool = False
+
+
+class MicroExecutor:
+    """Runs DRAM-Locker micro-programs against a copy backend."""
+
+    def __init__(
+        self,
+        copy_fn: CopyFn,
+        registers: MicroRegisterFile | None = None,
+        max_steps: int = 1_000_000,
+    ):
+        self.copy_fn = copy_fn
+        self.registers = registers or MicroRegisterFile()
+        self.max_steps = max_steps
+
+    def run(self, program: list[int]) -> ExecutionResult:
+        """Execute ``program`` (16-bit words) until ``done`` or fall-off."""
+        result = ExecutionResult()
+        pc = 0
+        regs = self.registers
+        while pc < len(program):
+            if result.steps >= self.max_steps:
+                raise ExecutionError(
+                    f"micro-program exceeded {self.max_steps} steps (missing done?)"
+                )
+            instruction = decode(program[pc])
+            result.steps += 1
+            if instruction.opcode is Opcode.DONE:
+                result.halted = True
+                return result
+            if instruction.opcode is Opcode.COPY:
+                src_row = regs[instruction.b]
+                dst_row = regs[instruction.a]
+                self.copy_fn(src_row, dst_row)
+                result.copies += 1
+                result.copy_trace.append((src_row, dst_row))
+                pc += 1
+            elif instruction.opcode is Opcode.BNEZ:
+                regs[instruction.a] -= 1
+                if regs[instruction.a] != 0:
+                    pc += instruction.b
+                    if pc < 0:
+                        raise ExecutionError("branch target before program start")
+                else:
+                    pc += 1
+            else:  # NOP
+                pc += 1
+        return result

@@ -1,0 +1,125 @@
+"""DRAM-Locker's 16-bit instruction set (paper Fig. 5).
+
+Two instruction *types* exist after compiling the upper-level code:
+
+* a **row-copy** instruction built on RowClone (``OP = 01``), carrying a
+  destination and a source micro-register, each naming a DRAM row;
+* **control** instructions for loops and termination (``OP = 10`` is
+  ``bnez``, ``OP = 11`` is ``done``).
+
+Encoding (16 bits)::
+
+    15 14 | 13 ........ 7 | 6 ......... 0
+    OP    | dst / reg     | src / offset
+
+Field widths are 2 + 7 + 7; the paper's figure shows the same three-field
+split without naming the widths, so 7-bit register specifiers (128
+micro-registers) are our documented choice.  ``bnez`` is
+decrement-and-branch-if-nonzero: the register is decremented first and
+the branch is taken while it remains nonzero, which is the minimal
+semantics that makes loops expressible with no arithmetic opcode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+__all__ = [
+    "NUM_MICRO_REGS",
+    "Opcode",
+    "Instruction",
+    "copy",
+    "bnez",
+    "done",
+    "encode",
+    "decode",
+]
+
+NUM_MICRO_REGS = 128
+_FIELD_MASK = 0x7F
+_OFFSET_BIAS = 64  # signed 7-bit offsets are stored excess-64
+
+
+class Opcode(IntEnum):
+    """Two-bit major opcode."""
+
+    NOP = 0b00
+    COPY = 0b01
+    BNEZ = 0b10
+    DONE = 0b11
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded 16-bit DRAM-Locker instruction."""
+
+    opcode: Opcode
+    a: int = 0  # dst register (COPY) / counter register (BNEZ)
+    b: int = 0  # src register (COPY) / branch offset (BNEZ)
+
+    def __str__(self) -> str:
+        if self.opcode is Opcode.COPY:
+            return f"copy r{self.a}, r{self.b}"
+        if self.opcode is Opcode.BNEZ:
+            return f"bnez r{self.a}, {self.b}"
+        if self.opcode is Opcode.DONE:
+            return "done"
+        return "nop"
+
+
+def copy(dst_reg: int, src_reg: int) -> Instruction:
+    """Row-copy: RowClone the row named by ``src_reg`` onto ``dst_reg``."""
+    _check_reg(dst_reg)
+    _check_reg(src_reg)
+    return Instruction(Opcode.COPY, dst_reg, src_reg)
+
+
+def bnez(reg: int, offset: int) -> Instruction:
+    """Decrement ``reg``; branch by ``offset`` words while nonzero."""
+    _check_reg(reg)
+    if not -_OFFSET_BIAS <= offset < _OFFSET_BIAS:
+        raise ValueError(f"branch offset {offset} outside signed 7-bit range")
+    return Instruction(Opcode.BNEZ, reg, offset)
+
+
+def done() -> Instruction:
+    """Terminate the micro-program."""
+    return Instruction(Opcode.DONE)
+
+
+def encode(instruction: Instruction) -> int:
+    """Pack an :class:`Instruction` into its 16-bit word."""
+    op = int(instruction.opcode)
+    if instruction.opcode is Opcode.COPY:
+        a, b = instruction.a, instruction.b
+        _check_reg(a)
+        _check_reg(b)
+    elif instruction.opcode is Opcode.BNEZ:
+        _check_reg(instruction.a)
+        a = instruction.a
+        b = instruction.b + _OFFSET_BIAS
+        if not 0 <= b <= _FIELD_MASK:
+            raise ValueError(f"branch offset {instruction.b} not encodable")
+    else:
+        a = b = 0
+    return (op << 14) | ((a & _FIELD_MASK) << 7) | (b & _FIELD_MASK)
+
+
+def decode(word: int) -> Instruction:
+    """Unpack a 16-bit word back into an :class:`Instruction`."""
+    if not 0 <= word <= 0xFFFF:
+        raise ValueError(f"instruction word {word:#x} is not 16-bit")
+    opcode = Opcode((word >> 14) & 0b11)
+    a = (word >> 7) & _FIELD_MASK
+    b = word & _FIELD_MASK
+    if opcode is Opcode.BNEZ:
+        return Instruction(opcode, a, b - _OFFSET_BIAS)
+    if opcode is Opcode.COPY:
+        return Instruction(opcode, a, b)
+    return Instruction(opcode)
+
+
+def _check_reg(reg: int) -> None:
+    if not 0 <= reg < NUM_MICRO_REGS:
+        raise ValueError(f"micro-register r{reg} out of range (0..{NUM_MICRO_REGS - 1})")

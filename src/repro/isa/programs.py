@@ -1,0 +1,63 @@
+"""Canonical DRAM-Locker micro-programs.
+
+The SWAP operation of Fig. 4(b) is three row copies through the buffer
+row:
+
+1. ``copy buffer  <- locked``   (pull the locked row's data out)
+2. ``copy locked  <- free``     (move the free row's data in)
+3. ``copy free    <- buffer``   (land the locked data in the free row)
+
+After ``done`` the *data* of the locked and free rows have exchanged
+places while the lock-table is untouched.
+"""
+
+from __future__ import annotations
+
+from .instructions import bnez, copy, done, encode
+
+__all__ = [
+    "REG_LOCKED",
+    "REG_FREE",
+    "REG_BUFFER",
+    "REG_COUNT",
+    "swap_program",
+    "repeat_copy_program",
+]
+
+#: Register conventions used by the generated programs.
+REG_LOCKED = 1
+REG_FREE = 2
+REG_BUFFER = 3
+REG_COUNT = 4
+
+
+def swap_program(
+    locked_reg: int = REG_LOCKED,
+    free_reg: int = REG_FREE,
+    buffer_reg: int = REG_BUFFER,
+) -> list[int]:
+    """The three-copy SWAP micro-program of Fig. 4(b)."""
+    return [
+        encode(copy(buffer_reg, locked_reg)),
+        encode(copy(locked_reg, free_reg)),
+        encode(copy(free_reg, buffer_reg)),
+        encode(done()),
+    ]
+
+
+def repeat_copy_program(
+    dst_reg: int,
+    src_reg: int,
+    count_reg: int = REG_COUNT,
+) -> list[int]:
+    """Copy ``src -> dst`` repeatedly, driven by a ``bnez`` loop.
+
+    The iteration count is whatever value the caller preloads into
+    ``count_reg``; this is the control-flow pattern the paper's ``bnez``
+    / ``done`` opcodes exist for.
+    """
+    return [
+        encode(copy(dst_reg, src_reg)),
+        encode(bnez(count_reg, -1)),
+        encode(done()),
+    ]

@@ -1,0 +1,20 @@
+"""DRAM-Locker: lock-table, SWAP engine, re-lock policy, planner."""
+
+from .lock_table import LockTable, LockTableFullError
+from .locker import LOCK_LOOKUP_NS, AccessDecision, DRAMLocker, LockerConfig
+from .planner import LockMode, ProtectionPlan, plan_protection
+from .swap import SwapEngine, SwapResult
+
+__all__ = [
+    "AccessDecision",
+    "DRAMLocker",
+    "LOCK_LOOKUP_NS",
+    "LockMode",
+    "LockTable",
+    "LockTableFullError",
+    "LockerConfig",
+    "ProtectionPlan",
+    "SwapEngine",
+    "SwapResult",
+    "plan_protection",
+]

@@ -1,0 +1,85 @@
+"""Protection planning: which rows to lock for a given set of data rows.
+
+The paper's recommended policy locks the rows *adjacent* to protected
+data (the potential aggressors) rather than the hot data itself, so
+normal execution never needs an unlock (Section IV-A).  That policy is
+only airtight when the protected rows are not adjacent to each other --
+the reason the weight mapper interleaves guard rows.  The planner makes
+the trade-off explicit: it computes the lock set for a chosen mode and
+reports any *uncovered victims* (protected rows one of whose potential
+aggressors remains activatable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..dram.address import AddressMapper
+
+__all__ = ["LockMode", "ProtectionPlan", "plan_protection"]
+
+
+class LockMode(Enum):
+    """What to put in the lock-table."""
+
+    #: Lock the aggressor-adjacent rows only (paper's recommendation).
+    ADJACENT = "adjacent"
+    #: Lock the data rows as well (heavier, needed for contiguous layouts).
+    ALL = "all"
+
+
+@dataclass
+class ProtectionPlan:
+    """Result of planning locks for a protected data set."""
+
+    data_rows: frozenset[int]
+    locked_rows: frozenset[int]
+    mode: LockMode
+    radius: int
+    uncovered_victims: frozenset[int] = field(default=frozenset())
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every potential aggressor of the data is locked."""
+        return not self.uncovered_victims
+
+
+def plan_protection(
+    mapper: AddressMapper,
+    data_rows,
+    mode: LockMode = LockMode.ADJACENT,
+    radius: int = 1,
+) -> ProtectionPlan:
+    """Compute the lock set protecting ``data_rows`` against hammering.
+
+    Args:
+        mapper: Address mapper of the target device.
+        data_rows: Global indices of the rows to protect.
+        mode: ``ADJACENT`` locks only neighbouring rows; ``ALL`` locks
+            the data rows too (closing the hole contiguous layouts leave
+            at the cost of unlock-SWAPs on every legitimate access).
+        radius: Blast radius to defend against; use 2 to also stop
+            Half-Double distance-2 patterns.
+    """
+    data = frozenset(int(row) for row in data_rows)
+    if mode is LockMode.ALL:
+        locked = frozenset(mapper.aggressors_of(data, radius=radius) | data)
+    else:
+        locked = frozenset(mapper.aggressors_of(data, radius=radius))
+
+    uncovered = frozenset(
+        victim
+        for victim in data
+        if any(
+            neighbor not in locked and neighbor != victim
+            for neighbor in mapper.neighbors(victim, radius=radius)
+        )
+    )
+    return ProtectionPlan(
+        data_rows=data,
+        locked_rows=locked,
+        mode=mode,
+        radius=radius,
+        uncovered_victims=uncovered,
+    )

@@ -1,0 +1,73 @@
+"""NumPy DNN stack: layers, models, quantization, data, hardening."""
+
+from .data import Dataset, make_dataset, synthetic_cifar10, synthetic_cifar100
+from .functional import cross_entropy, cross_entropy_grad, softmax
+from .hardening import (
+    TABLE2_BUILDERS,
+    HardenedModel,
+    train_baseline,
+    train_binary_weight,
+    train_capacity_x16,
+    train_piecewise_clustering,
+    train_ra_bnn,
+    train_weight_reconstruction,
+)
+from .layers import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Layer,
+    Linear,
+    MaxPool2d,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+from .model import Model, iter_layers, named_parameters, weight_layers
+from .models import BasicBlock, resnet20, vgg11
+from .quant import QuantizedModel, QuantizedTensor
+from .storage import Segment, WeightStore
+from .train import TrainConfig, TrainResult, train
+
+__all__ = [
+    "BasicBlock",
+    "BatchNorm2d",
+    "Conv2d",
+    "Dataset",
+    "Flatten",
+    "GlobalAvgPool",
+    "HardenedModel",
+    "Layer",
+    "Linear",
+    "MaxPool2d",
+    "Model",
+    "Parameter",
+    "QuantizedModel",
+    "QuantizedTensor",
+    "ReLU",
+    "Segment",
+    "Sequential",
+    "TABLE2_BUILDERS",
+    "TrainConfig",
+    "TrainResult",
+    "WeightStore",
+    "cross_entropy",
+    "cross_entropy_grad",
+    "iter_layers",
+    "make_dataset",
+    "named_parameters",
+    "resnet20",
+    "softmax",
+    "synthetic_cifar10",
+    "synthetic_cifar100",
+    "train",
+    "train_baseline",
+    "train_binary_weight",
+    "train_capacity_x16",
+    "train_piecewise_clustering",
+    "train_ra_bnn",
+    "train_weight_reconstruction",
+    "vgg11",
+    "weight_layers",
+]

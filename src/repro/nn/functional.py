@@ -1,0 +1,86 @@
+"""Low-level NumPy ops: im2col convolution plumbing and losses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "conv_output_hw",
+    "im2col",
+    "col2im",
+    "softmax",
+    "cross_entropy",
+    "cross_entropy_grad",
+]
+
+
+def conv_output_hw(h: int, w: int, k: int, stride: int, pad: int) -> tuple[int, int]:
+    """Spatial output size of a convolution."""
+    oh = (h + 2 * pad - k) // stride + 1
+    ow = (w + 2 * pad - k) // stride + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError("convolution output would be empty")
+    return oh, ow
+
+
+def _col_indices(c: int, h: int, w: int, k: int, stride: int, pad: int):
+    oh, ow = conv_output_hw(h, w, k, stride, pad)
+    i0 = np.repeat(np.arange(k), k)
+    i0 = np.tile(i0, c)
+    i1 = stride * np.repeat(np.arange(oh), ow)
+    j0 = np.tile(np.arange(k), k * c)
+    j1 = stride * np.tile(np.arange(ow), oh)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    ch = np.repeat(np.arange(c), k * k).reshape(-1, 1)
+    return ch, i, j, oh, ow
+
+
+def im2col(x: np.ndarray, k: int, stride: int, pad: int) -> np.ndarray:
+    """(N, C, H, W) -> (N, C*k*k, OH*OW) patch matrix."""
+    n, c, h, w = x.shape
+    ch, i, j, _, _ = _col_indices(c, h, w, k, stride, pad)
+    padded = np.pad(
+        x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant"
+    )
+    return padded[:, ch, i, j]
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    k: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col` (scatter-add back to image space)."""
+    n, c, h, w = x_shape
+    ch, i, j, _, _ = _col_indices(c, h, w, k, stride, pad)
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    np.add.at(padded, (slice(None), ch, i, j), cols)
+    if pad:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stabilised."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Mean cross-entropy of integer ``labels`` under ``logits``."""
+    probs = softmax(logits)
+    n = logits.shape[0]
+    eps = 1e-12
+    return float(-np.log(probs[np.arange(n), labels] + eps).mean())
+
+
+def cross_entropy_grad(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """d(mean CE)/d logits."""
+    probs = softmax(logits)
+    n = logits.shape[0]
+    probs[np.arange(n), labels] -= 1.0
+    return probs / n

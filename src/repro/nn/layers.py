@@ -1,0 +1,331 @@
+"""Neural-network layers with explicit manual backprop.
+
+Small by design: exactly the layer set ResNet-20 and VGG-11 need, in
+NumPy, with the forward pass caching what the backward pass consumes.
+Conv2d and Linear support an optional ``weight_transform`` -- a
+quantizer applied to the weight in the forward pass whose gradient is
+passed straight through (STE), which is how the binary-weight hardening
+baselines of Table II train.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .functional import col2im, conv_output_hw, im2col
+
+__all__ = [
+    "Parameter",
+    "Layer",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "GlobalAvgPool",
+    "Flatten",
+    "Sequential",
+]
+
+WeightTransform = Callable[[np.ndarray], np.ndarray]
+
+
+class Parameter:
+    """A trainable array with its gradient accumulator."""
+
+    def __init__(self, value: np.ndarray):
+        self.value = np.asarray(value, dtype=np.float32)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def size(self) -> int:
+        return self.value.size
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+
+class Layer:
+    """Base layer: ``forward`` caches, ``backward`` returns dX."""
+
+    def params(self) -> dict[str, Parameter]:
+        """Trainable parameters, keyed by local name."""
+        return {}
+
+    def children(self) -> list[tuple[str, "Layer"]]:
+        """Named sub-layers, for hierarchical traversal."""
+        return []
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+def _kaiming(shape: tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape).astype(np.float32)
+
+
+class Conv2d(Layer):
+    """3x3/1x1-style convolution via im2col."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        pad: int | None = None,
+        bias: bool = False,
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = kernel // 2 if pad is None else pad
+        fan_in = in_channels * kernel * kernel
+        self.weight = Parameter(_kaiming((out_channels, fan_in), fan_in, rng))
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+        self.weight_transform: WeightTransform | None = None
+        self._cache: tuple | None = None
+
+    def params(self) -> dict[str, Parameter]:
+        named = {"weight": self.weight}
+        if self.bias is not None:
+            named["bias"] = self.bias
+        return named
+
+    def effective_weight(self) -> np.ndarray:
+        if self.weight_transform is not None:
+            return self.weight_transform(self.weight.value)
+        return self.weight.value
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        oh, ow = conv_output_hw(h, w, self.kernel, self.stride, self.pad)
+        cols = im2col(x, self.kernel, self.stride, self.pad)
+        weight = self.effective_weight()
+        out = np.einsum("of,nfp->nop", weight, cols, optimize=True)
+        if self.bias is not None:
+            out += self.bias.value[None, :, None]
+        self._cache = (x.shape, cols)
+        return np.ascontiguousarray(
+            out.reshape(n, self.out_channels, oh, ow)
+        )
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        assert self._cache is not None, "forward before backward"
+        x_shape, cols = self._cache
+        n = dy.shape[0]
+        dy_flat = dy.reshape(n, self.out_channels, -1)
+        # STE: the gradient w.r.t. the raw weight equals the gradient
+        # w.r.t. the transformed weight.
+        self.weight.grad += np.einsum(
+            "nop,nfp->of", dy_flat, cols, optimize=True
+        )
+        if self.bias is not None:
+            self.bias.grad += dy_flat.sum(axis=(0, 2))
+        weight = self.effective_weight()
+        dcols = np.einsum("of,nop->nfp", weight, dy_flat, optimize=True)
+        return col2im(dcols, x_shape, self.kernel, self.stride, self.pad)
+
+
+class Linear(Layer):
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            _kaiming((out_features, in_features), in_features, rng)
+        )
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.weight_transform: WeightTransform | None = None
+        self._x: np.ndarray | None = None
+
+    def params(self) -> dict[str, Parameter]:
+        named = {"weight": self.weight}
+        if self.bias is not None:
+            named["bias"] = self.bias
+        return named
+
+    def effective_weight(self) -> np.ndarray:
+        if self.weight_transform is not None:
+            return self.weight_transform(self.weight.value)
+        return self.weight.value
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._x = x
+        out = x @ self.effective_weight().T
+        if self.bias is not None:
+            out += self.bias.value
+        return out
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        assert self._x is not None
+        self.weight.grad += dy.T @ self._x
+        if self.bias is not None:
+            self.bias.grad += dy.sum(axis=0)
+        return dy @ self.effective_weight()
+
+
+class BatchNorm2d(Layer):
+    def __init__(self, channels: int, momentum: float = 0.9, eps: float = 1e-5):
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(channels))
+        self.beta = Parameter(np.zeros(channels))
+        self.running_mean = np.zeros(channels, dtype=np.float32)
+        self.running_var = np.ones(channels, dtype=np.float32)
+        self._cache: tuple | None = None
+
+    def params(self) -> dict[str, Parameter]:
+        return {"gamma": self.gamma, "beta": self.beta}
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            ).astype(np.float32)
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            ).astype(np.float32)
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        self._cache = (x_hat, inv_std, x.shape, training)
+        return self.gamma.value[None, :, None, None] * x_hat + self.beta.value[
+            None, :, None, None
+        ]
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        x_hat, inv_std, shape, was_training = self._cache
+        n, _, h, w = shape
+        m = n * h * w
+        self.gamma.grad += (dy * x_hat).sum(axis=(0, 2, 3))
+        self.beta.grad += dy.sum(axis=(0, 2, 3))
+        gamma = self.gamma.value[None, :, None, None]
+        dxhat = dy * gamma
+        if not was_training:
+            # Eval mode: running stats don't depend on x.
+            return (dxhat * inv_std[None, :, None, None]).astype(np.float32)
+        sum_dxhat = dxhat.sum(axis=(0, 2, 3), keepdims=True)
+        sum_dxhat_xhat = (dxhat * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+        dx = (
+            dxhat - sum_dxhat / m - x_hat * sum_dxhat_xhat / m
+        ) * inv_std[None, :, None, None]
+        return dx.astype(np.float32)
+
+
+class ReLU(Layer):
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        assert self._mask is not None
+        return dy * self._mask
+
+
+class MaxPool2d(Layer):
+    """Non-overlapping k x k max pooling."""
+
+    def __init__(self, k: int = 2):
+        self.k = k
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.k
+        if h % k or w % k:
+            raise ValueError(f"spatial size {h}x{w} not divisible by {k}")
+        blocks = x.reshape(n, c, h // k, k, w // k, k)
+        out = blocks.max(axis=(3, 5))
+        mask = blocks == out[:, :, :, None, :, None]
+        self._cache = (mask, x.shape)
+        return out
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        mask, shape = self._cache
+        n, c, h, w = shape
+        k = self.k
+        spread = mask * dy[:, :, :, None, :, None]
+        return spread.reshape(n, c, h, w).astype(np.float32)
+
+
+class GlobalAvgPool(Layer):
+    """Mean over the spatial dimensions -> (N, C)."""
+
+    def __init__(self) -> None:
+        self._shape: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        assert self._shape is not None
+        n, c, h, w = self._shape
+        return np.broadcast_to(
+            dy[:, :, None, None] / (h * w), self._shape
+        ).astype(np.float32)
+
+
+class Flatten(Layer):
+    def __init__(self) -> None:
+        self._shape: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        assert self._shape is not None
+        return dy.reshape(self._shape)
+
+
+class Sequential(Layer):
+    def __init__(self, *layers: Layer):
+        self.layers = list(layers)
+
+    def children(self) -> list[tuple[str, Layer]]:
+        return [(str(index), layer) for index, layer in enumerate(self.layers)]
+
+    def params(self) -> dict[str, Parameter]:
+        named = {}
+        for index, layer in enumerate(self.layers):
+            for name, param in layer.params().items():
+                named[f"{index}.{name}"] = param
+        return named
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            dy = layer.backward(dy)
+        return dy

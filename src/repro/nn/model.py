@@ -1,0 +1,99 @@
+"""Model wrapper: traversal, loss/grad plumbing, evaluation."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .functional import cross_entropy, cross_entropy_grad, softmax
+from .layers import Conv2d, Layer, Linear, Parameter
+
+__all__ = ["Model", "iter_layers", "named_parameters", "weight_layers"]
+
+
+def iter_layers(layer: Layer, prefix: str = "") -> Iterator[tuple[str, Layer]]:
+    """Depth-first traversal yielding ``(path, layer)`` for every layer."""
+    yield prefix or "net", layer
+    for name, child in layer.children():
+        child_prefix = f"{prefix}.{name}" if prefix else name
+        yield from iter_layers(child, child_prefix)
+
+
+def named_parameters(layer: Layer) -> dict[str, Parameter]:
+    """Hierarchically-named parameters of a layer tree."""
+    named: dict[str, Parameter] = {}
+    for path, node in iter_layers(layer):
+        for local, param in node.params().items():
+            if node.children():
+                continue  # composite layers re-expose their children's params
+            named[f"{path}.{local}"] = param
+    return named
+
+
+def weight_layers(layer: Layer) -> dict[str, Layer]:
+    """Paths of the Conv2d/Linear layers -- the quantization targets."""
+    return {
+        path: node
+        for path, node in iter_layers(layer)
+        if isinstance(node, (Conv2d, Linear))
+    }
+
+
+class Model:
+    """A network plus the training/attack plumbing around it."""
+
+    def __init__(self, net: Layer, name: str = "model"):
+        self.net = net
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Parameters
+    # ------------------------------------------------------------------
+    def parameters(self) -> dict[str, Parameter]:
+        return named_parameters(self.net)
+
+    def weight_layers(self) -> dict[str, Layer]:
+        return weight_layers(self.net)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters().values():
+            param.zero_grad()
+
+    def parameter_count(self) -> int:
+        return sum(p.size for p in self.parameters().values())
+
+    # ------------------------------------------------------------------
+    # Forward / loss
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.net.forward(x, training=training)
+
+    def loss(self, x: np.ndarray, labels: np.ndarray) -> float:
+        return cross_entropy(self.forward(x), labels)
+
+    def loss_and_grad(
+        self, x: np.ndarray, labels: np.ndarray, training: bool = False
+    ) -> float:
+        """Forward + backward; gradients accumulate into parameters."""
+        logits = self.forward(x, training=training)
+        loss = cross_entropy(logits, labels)
+        self.net.backward(cross_entropy_grad(logits, labels))
+        return loss
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray, batch: int = 256) -> np.ndarray:
+        outputs = []
+        for start in range(0, x.shape[0], batch):
+            logits = self.forward(x[start : start + batch])
+            outputs.append(np.argmax(logits, axis=1))
+        return np.concatenate(outputs)
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray, batch: int = 256) -> float:
+        """Top-1 accuracy in percent."""
+        return float(100.0 * (self.predict(x, batch) == labels).mean())
+
+    def probabilities(self, x: np.ndarray) -> np.ndarray:
+        return softmax(self.forward(x))

@@ -1,0 +1,154 @@
+"""The paper's evaluation architectures: ResNet-20 and VGG-11.
+
+Both keep their published block structure; ``width`` and ``input_hw``
+scale them down so NumPy training finishes in seconds (the full-size
+shapes are one argument away).  Defaults follow the paper's pairing:
+ResNet-20 for CIFAR-10-like data, VGG-11 for CIFAR-100-like data, both
+on 3x32x32 inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Layer,
+    Linear,
+    MaxPool2d,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+from .model import Model
+
+__all__ = ["BasicBlock", "resnet20", "vgg11"]
+
+
+class BasicBlock(Layer):
+    """ResNet v1 basic block: two 3x3 convs + identity/projection skip."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int,
+        rng: np.random.Generator,
+    ):
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        self.relu_out = ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut: Sequential | None = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, pad=0, rng=rng),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = None
+
+    def children(self) -> list[tuple[str, Layer]]:
+        named = [
+            ("conv1", self.conv1),
+            ("bn1", self.bn1),
+            ("conv2", self.conv2),
+            ("bn2", self.bn2),
+        ]
+        if self.shortcut is not None:
+            named.append(("shortcut", self.shortcut))
+        return named
+
+    def params(self) -> dict[str, Parameter]:
+        named = {}
+        for name, child in self.children():
+            for local, param in child.params().items():
+                named[f"{name}.{local}"] = param
+        return named
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        main = self.conv1.forward(x, training)
+        main = self.bn1.forward(main, training)
+        main = self.relu1.forward(main, training)
+        main = self.conv2.forward(main, training)
+        main = self.bn2.forward(main, training)
+        skip = x if self.shortcut is None else self.shortcut.forward(x, training)
+        return self.relu_out.forward(main + skip, training)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        dsum = self.relu_out.backward(dy)
+        dmain = self.bn2.backward(dsum)
+        dmain = self.conv2.backward(dmain)
+        dmain = self.relu1.backward(dmain)
+        dmain = self.bn1.backward(dmain)
+        dmain = self.conv1.backward(dmain)
+        dskip = dsum if self.shortcut is None else self.shortcut.backward(dsum)
+        return dmain + dskip
+
+
+def resnet20(
+    num_classes: int = 10,
+    width: int = 16,
+    input_hw: int = 32,
+    seed: int = 0,
+) -> Model:
+    """ResNet-20: 3 stages x 3 basic blocks (He et al. CIFAR variant)."""
+    rng = np.random.default_rng(seed)
+    layers: list[Layer] = [
+        Conv2d(3, width, 3, rng=rng),
+        BatchNorm2d(width),
+        ReLU(),
+    ]
+    channels = width
+    for stage, stage_channels in enumerate((width, 2 * width, 4 * width)):
+        for block in range(3):
+            stride = 2 if (stage > 0 and block == 0) else 1
+            layers.append(BasicBlock(channels, stage_channels, stride, rng))
+            channels = stage_channels
+    layers += [GlobalAvgPool(), Linear(channels, num_classes, rng=rng)]
+    net = Sequential(*layers)
+    return Model(net, name=f"resnet20(w{width},{input_hw}x{input_hw})")
+
+
+_VGG11_PLAN: tuple[int | str, ...] = (
+    64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M",
+)
+
+
+def vgg11(
+    num_classes: int = 100,
+    width: int = 64,
+    input_hw: int = 32,
+    seed: int = 0,
+) -> Model:
+    """VGG-11 with batch norm (configuration A), width-scalable.
+
+    ``width`` rescales the canonical 64/128/256/512 channel plan; the
+    classifier is the single linear layer used for CIFAR-scale inputs.
+    """
+    rng = np.random.default_rng(seed)
+    scale = width / 64.0
+    layers: list[Layer] = []
+    channels = 3
+    hw = input_hw
+    for item in _VGG11_PLAN:
+        if item == "M":
+            if hw < 2:
+                continue  # scaled-down inputs skip the deepest pools
+            layers.append(MaxPool2d(2))
+            hw //= 2
+        else:
+            out_channels = max(4, int(item * scale))
+            layers += [
+                Conv2d(channels, out_channels, 3, rng=rng),
+                BatchNorm2d(out_channels),
+                ReLU(),
+            ]
+            channels = out_channels
+    layers += [Flatten(), Linear(channels * hw * hw, num_classes, rng=rng)]
+    net = Sequential(*layers)
+    return Model(net, name=f"vgg11(w{width},{input_hw}x{input_hw})")

@@ -1,0 +1,85 @@
+"""SGD training loop with optional regularization hooks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .data import Dataset
+from .model import Model
+
+__all__ = ["TrainConfig", "TrainResult", "train"]
+
+RegularizerHook = Callable[[Model], None]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyper-parameters of one training run."""
+
+    epochs: int = 6
+    batch_size: int = 64
+    lr: float = 0.08
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    lr_decay_epochs: tuple[int, ...] = (4,)
+    lr_decay_factor: float = 0.1
+    seed: int = 0
+
+
+@dataclass
+class TrainResult:
+    """Per-epoch history of one run."""
+
+    train_loss: list[float] = field(default_factory=list)
+    test_accuracy: list[float] = field(default_factory=list)
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.test_accuracy[-1] if self.test_accuracy else 0.0
+
+
+def train(
+    model: Model,
+    dataset: Dataset,
+    config: TrainConfig | None = None,
+    grad_hook: RegularizerHook | None = None,
+    verbose: bool = False,
+) -> TrainResult:
+    """SGD with momentum; ``grad_hook`` runs after each backward pass.
+
+    The hook is how the Table II hardening baselines inject their
+    regularizers (e.g. piece-wise clustering's +/-mean pull) without a
+    separate trainer.
+    """
+    config = config or TrainConfig()
+    rng = np.random.default_rng(config.seed)
+    params = model.parameters()
+    velocity = {name: np.zeros_like(p.value) for name, p in params.items()}
+    result = TrainResult()
+    lr = config.lr
+
+    for epoch in range(config.epochs):
+        if epoch in config.lr_decay_epochs:
+            lr *= config.lr_decay_factor
+        losses = []
+        for x, y in dataset.batches(config.batch_size, rng):
+            model.zero_grad()
+            losses.append(model.loss_and_grad(x, y, training=True))
+            if grad_hook is not None:
+                grad_hook(model)
+            for name, param in params.items():
+                grad = param.grad + config.weight_decay * param.value
+                velocity[name] = config.momentum * velocity[name] - lr * grad
+                param.value += velocity[name]
+        accuracy = model.accuracy(dataset.test_x, dataset.test_y)
+        result.train_loss.append(float(np.mean(losses)))
+        result.test_accuracy.append(accuracy)
+        if verbose:
+            print(
+                f"  epoch {epoch + 1}/{config.epochs}: "
+                f"loss {result.train_loss[-1]:.3f}, test acc {accuracy:.1f}%"
+            )
+    return result

@@ -1,0 +1,28 @@
+"""Virtual memory substrate: PTEs, page tables in DRAM, MMU walker."""
+
+from .mmu import MMU
+from .page_table import PageFault, PageTable
+from .pte import (
+    PTE,
+    PTE_BYTES,
+    PTEFlags,
+    decode_pte,
+    encode_pte,
+    pfn_bit_positions,
+    pte_from_bytes,
+    pte_to_bytes,
+)
+
+__all__ = [
+    "MMU",
+    "PTE",
+    "PTE_BYTES",
+    "PTEFlags",
+    "PageFault",
+    "PageTable",
+    "decode_pte",
+    "encode_pte",
+    "pfn_bit_positions",
+    "pte_from_bytes",
+    "pte_to_bytes",
+]

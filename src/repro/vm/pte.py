@@ -1,0 +1,98 @@
+"""Page-table entry layout.
+
+64-bit PTEs in the x86 spirit: a valid bit, a small flag field, and the
+physical frame number (PFN).  The PTA threat model flips PFN bits, so
+the layout exposes exactly which *row bit positions* the PFN occupies
+-- that is what the attacker templates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PTE_BYTES", "PTEFlags", "PTE", "encode_pte", "decode_pte", "pfn_bit_positions"]
+
+PTE_BYTES = 8
+
+_VALID_BIT = 0
+_FLAG_SHIFT = 1
+_FLAG_BITS = 11
+_PFN_SHIFT = 12
+_PFN_BITS = 40
+
+
+@dataclass(frozen=True)
+class PTEFlags:
+    """The subset of flags the simulation cares about."""
+
+    writable: bool = True
+    user: bool = True
+
+    def encode(self) -> int:
+        value = 0
+        if self.writable:
+            value |= 1 << 0
+        if self.user:
+            value |= 1 << 1
+        return value
+
+    @staticmethod
+    def decode(value: int) -> "PTEFlags":
+        return PTEFlags(writable=bool(value & 1), user=bool(value & 2))
+
+
+@dataclass(frozen=True)
+class PTE:
+    """One decoded page-table entry."""
+
+    valid: bool
+    pfn: int
+    flags: PTEFlags = PTEFlags()
+
+
+def encode_pte(pte: PTE) -> int:
+    """Pack a :class:`PTE` into its 64-bit representation."""
+    if not 0 <= pte.pfn < (1 << _PFN_BITS):
+        raise ValueError(f"pfn {pte.pfn} out of range")
+    value = 0
+    if pte.valid:
+        value |= 1 << _VALID_BIT
+    value |= pte.flags.encode() << _FLAG_SHIFT
+    value |= pte.pfn << _PFN_SHIFT
+    return value
+
+
+def decode_pte(value: int) -> PTE:
+    """Unpack a 64-bit word into a :class:`PTE`."""
+    valid = bool(value & (1 << _VALID_BIT))
+    flags = PTEFlags.decode((value >> _FLAG_SHIFT) & ((1 << _FLAG_BITS) - 1))
+    pfn = (value >> _PFN_SHIFT) & ((1 << _PFN_BITS) - 1)
+    return PTE(valid=valid, pfn=pfn, flags=flags)
+
+
+def pte_to_bytes(value: int) -> np.ndarray:
+    """Little-endian byte image of one PTE."""
+    return np.frombuffer(
+        int(value).to_bytes(PTE_BYTES, "little"), dtype=np.uint8
+    ).copy()
+
+
+def pte_from_bytes(data: np.ndarray) -> int:
+    """Inverse of :func:`pte_to_bytes`."""
+    if len(data) != PTE_BYTES:
+        raise ValueError("a PTE is exactly 8 bytes")
+    return int.from_bytes(bytes(bytearray(data)), "little")
+
+
+def pfn_bit_positions(entry_offset_bytes: int, pfn_bit: int) -> int:
+    """Row-bit position of one PFN bit of a PTE at a byte offset.
+
+    This is the coordinate an attacker passes to the vulnerability
+    template: flipping this row bit flips PFN bit ``pfn_bit`` of the
+    entry stored at ``entry_offset_bytes`` within the row.
+    """
+    if not 0 <= pfn_bit < _PFN_BITS:
+        raise ValueError(f"pfn bit {pfn_bit} out of range")
+    return entry_offset_bytes * 8 + _PFN_SHIFT + pfn_bit

@@ -1,0 +1,112 @@
+"""Monte-Carlo swap-error model and the CACTI-like cost model."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    area_overhead_pct,
+    cam_estimate,
+    dram_die_area_mm2,
+    lock_table_estimate,
+    sram_estimate,
+)
+from repro.circuits import (
+    MonteCarlo,
+    PAPER_ERROR_RATES,
+    RowCloneCircuit,
+    copy_error_rate,
+)
+from repro.dram import DRAMConfig
+
+
+class TestRowCloneCircuit:
+    def test_nominal_copy_never_fails(self):
+        margins = RowCloneCircuit().nominal_margins()
+        assert not margins.failed
+        assert margins.sense_margin_v > 0
+        assert margins.restore_margin > 0
+
+    def test_bitline_swing_physical_range(self):
+        swing = RowCloneCircuit().bitline_swing_v()
+        assert 0.05 < swing < 0.3  # typical DRAM charge-sharing swing
+
+    def test_negative_variation_rejected(self):
+        with pytest.raises(ValueError):
+            RowCloneCircuit().sample_failures(-1, 10, np.random.default_rng(0))
+
+
+class TestMonteCarlo:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return {r.variation_pct: r for r in MonteCarlo().sweep((0, 10, 20))}
+
+    def test_zero_variation_is_error_free(self, sweep):
+        assert sweep[0].error_rate == 0.0
+
+    def test_ten_percent_matches_paper_order(self, sweep):
+        """Paper: 0.14% at +/-10%."""
+        assert 0.0003 <= sweep[10].error_rate <= 0.004
+
+    def test_twenty_percent_matches_paper_order(self, sweep):
+        """Paper: 9.6% at +/-20%."""
+        assert 0.07 <= sweep[20].error_rate <= 0.12
+
+    def test_error_rate_monotone_in_variation(self):
+        results = MonteCarlo().sweep((0, 5, 10, 15, 20))
+        rates = [r.error_rate for r in results]
+        assert rates == sorted(rates)
+
+    def test_deterministic_in_seed(self):
+        a = MonteCarlo(seed=5).run(20)
+        b = MonteCarlo(seed=5).run(20)
+        assert a.failures == b.failures
+
+    def test_trials_validated(self):
+        with pytest.raises(ValueError):
+            MonteCarlo(trials=0)
+
+
+class TestErrorRateInterpolation:
+    def test_exact_corners(self):
+        for pct, rate in PAPER_ERROR_RATES.items():
+            assert copy_error_rate(pct) == pytest.approx(rate)
+
+    def test_interpolation_monotone(self):
+        xs = np.linspace(0, 20, 41)
+        ys = [copy_error_rate(x) for x in xs]
+        assert all(b >= a for a, b in zip(ys, ys[1:]))
+
+    def test_clamps_beyond_range(self):
+        assert copy_error_rate(50) == PAPER_ERROR_RATES[20]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            copy_error_rate(-1)
+
+
+class TestCacti:
+    def test_lock_table_area_overhead_near_paper(self):
+        """The 56KB lock-table lands at the paper's 0.02% die overhead."""
+        _, pct = lock_table_estimate()
+        assert 0.01 <= pct <= 0.04
+
+    def test_lock_table_access_near_a_nanosecond(self):
+        estimate, _ = lock_table_estimate()
+        assert 0.5 <= estimate.access_ns <= 2.5
+
+    def test_sram_area_scales_with_size(self):
+        small = sram_estimate(8 * 1024)
+        big = sram_estimate(64 * 1024)
+        assert big.area_mm2 == pytest.approx(8 * small.area_mm2)
+
+    def test_cam_costs_more_than_sram(self):
+        assert cam_estimate(8 * 1024).area_mm2 > sram_estimate(8 * 1024).area_mm2
+
+    def test_die_area_scales_with_capacity(self):
+        assert dram_die_area_mm2(DRAMConfig.ddr4_32gb()) == pytest.approx(
+            16 * 60.7
+        )
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            sram_estimate(0)

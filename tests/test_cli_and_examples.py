@@ -1,0 +1,27 @@
+"""The CLI entry point and example-facing integration seams (cheap paths)."""
+
+import pytest
+
+from repro.eval.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig8" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nonsense"]) == 2
+
+    @pytest.mark.parametrize(
+        "name", ["fig1b", "fig5", "table1", "fig7a", "fig7b", "rowclone"]
+    )
+    def test_cheap_runners(self, name, capsys):
+        assert main([name]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_all_cheap(self, capsys):
+        assert main(["all"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7b" in out and "DRAM-Locker" in out

@@ -1,0 +1,135 @@
+"""Memory controller: timing, hammer path, sequence, scheduling."""
+
+import pytest
+
+from repro.controller import (
+    FRFCFSScheduler,
+    Kind,
+    MemRequest,
+    MemoryController,
+    Sequence,
+    Status,
+)
+from repro.dram import DRAMConfig, DRAMDevice, VulnerabilityMap
+from repro.locker import DRAMLocker, LockerConfig
+
+
+@pytest.fixture()
+def device():
+    cfg = DRAMConfig.tiny()
+    vuln = VulnerabilityMap(cfg, weak_cell_fraction=0.0)
+    return DRAMDevice(cfg, vulnerability=vuln, trh=50)
+
+
+@pytest.fixture()
+def controller(device):
+    return MemoryController(device)
+
+
+class TestTiming:
+    def test_cold_read_is_a_row_miss(self, controller, device):
+        result = controller.read(5)
+        timing = device.timing
+        assert result.latency_ns == pytest.approx(
+            timing.trcd + timing.tcl + timing.tbl
+        )
+        assert not result.row_hit
+        assert device.stats.row_misses == 1
+
+    def test_second_read_same_row_hits(self, controller, device):
+        controller.read(5)
+        result = controller.read(5, column=64)
+        assert result.row_hit
+        assert result.latency_ns == pytest.approx(device.timing.row_hit_ns)
+        assert device.stats.row_hits == 1
+
+    def test_conflict_read_pays_precharge(self, controller, device):
+        controller.read(5)
+        result = controller.read(6)
+        timing = device.timing
+        assert result.latency_ns == pytest.approx(
+            timing.trp + timing.trcd + timing.tcl + timing.tbl
+        )
+
+    def test_multi_burst_adds_tccd(self, controller, device):
+        result = controller.read(5, size=256)
+        timing = device.timing
+        expected = timing.trcd + timing.tcl + timing.tbl + 3 * timing.tccd
+        assert result.latency_ns == pytest.approx(expected)
+
+    def test_act_request_is_full_row_cycle(self, controller, device):
+        result = controller.execute(MemRequest(Kind.ACT, 5))
+        assert result.latency_ns == pytest.approx(device.timing.trc)
+        # closed-row: the bank is precharged afterwards
+        assert device.banks[0].open_row is None
+
+    def test_write_stores_and_costs_like_read(self, controller, device):
+        result = controller.write(5)
+        assert result.status is Status.DONE
+        assert device.stats.writes == 1
+
+    def test_clock_advances_with_traffic(self, controller, device):
+        before = device.now_ns
+        controller.read(5)
+        assert device.now_ns > before
+
+
+class TestHammerPath:
+    def test_hammer_counts_activations(self, controller, device):
+        controller.hammer(9, count=7)
+        assert device.rowhammer.activation_count(9) == 7
+
+    def test_hammer_triggers_flips_past_threshold(self, controller, device):
+        device.vulnerability.register_template(8, [0])
+        results = controller.hammer(9, count=device.timing.trh)
+        flips = [f for r in results for f in r.flips]
+        assert len(flips) == 1 and flips[0].row == 8
+
+
+class TestSequence:
+    def test_drain_executes_in_order(self, controller, device):
+        seq = Sequence(controller)
+        seq.extend([MemRequest(Kind.READ, row) for row in (1, 2, 3)])
+        report = seq.drain()
+        assert report.executed == 3
+        assert report.blocked == 0
+        assert len(seq) == 0
+        assert report.total_latency_ns > 0
+
+    def test_blocked_instructions_save_latency(self, device):
+        locker = DRAMLocker(device)
+        locker.lock_rows([5])
+        controller = MemoryController(device, locker=locker)
+        seq = Sequence(controller)
+        seq.extend([MemRequest(Kind.ACT, 5) for _ in range(10)])
+        report = seq.drain()
+        assert report.blocked == 10
+        assert report.executed == 0
+        # A skipped ACT costs only the lock lookup instead of a row cycle.
+        assert report.blocked_latency_saved_ns > 0
+        assert device.rowhammer.activation_count(5) == 0
+
+
+class TestFRFCFS:
+    def test_promotes_row_hits(self, controller, device):
+        requests = [
+            MemRequest(Kind.READ, 1),
+            MemRequest(Kind.READ, 2),
+            MemRequest(Kind.READ, 1, column=64),
+        ]
+        scheduler = FRFCFSScheduler(controller, window=4)
+        results = scheduler.run(requests)
+        served_rows = [r.request.row for r in results]
+        assert served_rows == [1, 1, 2]
+        assert results[1].row_hit
+
+    def test_starvation_cap_eventually_serves_head(self, controller):
+        # All requests to distinct rows: order must be preserved.
+        requests = [MemRequest(Kind.READ, row) for row in range(8)]
+        scheduler = FRFCFSScheduler(controller, window=4, starvation_cap=2)
+        results = scheduler.run(requests)
+        assert [r.request.row for r in results] == list(range(8))
+
+    def test_window_validation(self, controller):
+        with pytest.raises(ValueError):
+            FRFCFSScheduler(controller, window=0)

@@ -1,0 +1,123 @@
+"""Address mapping: bijectivity, adjacency, reserved rows."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram import AddressMapper, DRAMConfig, RowAddress
+
+
+@pytest.fixture(scope="module")
+def mapper():
+    return AddressMapper(DRAMConfig.tiny())
+
+
+class TestRowIndexRoundTrip:
+    @given(st.integers(min_value=0, max_value=DRAMConfig.tiny().total_rows - 1))
+    def test_index_to_address_and_back(self, index):
+        mapper = AddressMapper(DRAMConfig.tiny())
+        assert mapper.row_index(mapper.row_address(index)) == index
+
+    @given(
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=63),
+    )
+    def test_address_to_index_and_back(self, bank, subarray, row):
+        mapper = AddressMapper(DRAMConfig.tiny())
+        addr = RowAddress(bank, subarray, row)
+        assert mapper.row_address(mapper.row_index(addr)) == addr
+
+    def test_accepts_plain_tuples(self, mapper):
+        assert mapper.row_index((0, 1, 2)) == mapper.row_index(RowAddress(0, 1, 2))
+
+    def test_out_of_range_index_rejected(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.row_address(mapper.config.total_rows)
+        with pytest.raises(ValueError):
+            mapper.row_address(-1)
+
+    def test_out_of_range_fields_rejected(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.row_index(RowAddress(99, 0, 0))
+        with pytest.raises(ValueError):
+            mapper.row_index(RowAddress(0, 99, 0))
+        with pytest.raises(ValueError):
+            mapper.row_index(RowAddress(0, 0, 9999))
+
+
+class TestByteAddressing:
+    @given(st.integers(min_value=0, max_value=DRAMConfig.tiny().capacity_bytes - 1))
+    def test_physical_round_trip(self, physical):
+        mapper = AddressMapper(DRAMConfig.tiny())
+        assert mapper.physical(mapper.byte_address(physical)) == physical
+
+    def test_column_extraction(self, mapper):
+        cfg = mapper.config
+        addr = mapper.byte_address(cfg.row_bytes + 7)
+        assert addr.column == 7
+        assert mapper.row_index(addr.row) == 1
+
+    def test_out_of_range_physical_rejected(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.byte_address(mapper.config.capacity_bytes)
+
+
+class TestAdjacency:
+    def test_interior_row_has_two_neighbors(self, mapper):
+        index = mapper.row_index(RowAddress(0, 0, 10))
+        assert mapper.neighbors(index) == [
+            mapper.row_index(RowAddress(0, 0, 9)),
+            mapper.row_index(RowAddress(0, 0, 11)),
+        ]
+
+    def test_subarray_edges_have_one_neighbor(self, mapper):
+        first = mapper.row_index(RowAddress(0, 1, 0))
+        last = mapper.row_index(RowAddress(0, 1, 63))
+        assert mapper.neighbors(first) == [first + 1]
+        assert mapper.neighbors(last) == [last - 1]
+
+    def test_adjacency_never_crosses_subarrays(self, mapper):
+        cfg = mapper.config
+        for subarray in range(cfg.subarrays_per_bank):
+            for local in (0, cfg.rows_per_subarray - 1):
+                index = mapper.row_index(RowAddress(1, subarray, local))
+                for neighbor in mapper.neighbors(index, radius=2):
+                    assert mapper.same_subarray(index, neighbor)
+
+    def test_radius_two_ring(self, mapper):
+        index = mapper.row_index(RowAddress(0, 0, 10))
+        neighbors = mapper.neighbors(index, radius=2)
+        assert len(neighbors) == 4
+        assert index not in neighbors
+
+    def test_radius_zero_rejected(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.neighbors(0, radius=0)
+
+
+class TestAggressors:
+    def test_aggressors_exclude_victims(self, mapper):
+        victims = [mapper.row_index(RowAddress(0, 0, r)) for r in (10, 11)]
+        aggressors = mapper.aggressors_of(victims)
+        assert not aggressors.intersection(victims)
+        expected = {
+            mapper.row_index(RowAddress(0, 0, 9)),
+            mapper.row_index(RowAddress(0, 0, 12)),
+        }
+        assert aggressors == expected
+
+    def test_isolated_victim(self, mapper):
+        victim = mapper.row_index(RowAddress(1, 1, 20))
+        assert mapper.aggressors_of([victim]) == {victim - 1, victim + 1}
+
+
+class TestReservedRows:
+    def test_reserved_rows_are_at_subarray_top(self, mapper):
+        cfg = mapper.config
+        reserved = mapper.reserved_rows(0, 0)
+        assert len(reserved) == cfg.reserved_rows_per_subarray
+        locals_ = [mapper.row_address(r).row for r in reserved]
+        assert locals_ == list(
+            range(cfg.usable_rows_per_subarray, cfg.rows_per_subarray)
+        )

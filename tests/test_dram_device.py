@@ -1,0 +1,184 @@
+"""DRAM device model: data plane, command plane, refresh, energy."""
+
+import numpy as np
+import pytest
+
+from repro.dram import DRAMConfig, DRAMDevice, VulnerabilityMap
+
+
+@pytest.fixture()
+def device():
+    cfg = DRAMConfig.tiny()
+    vuln = VulnerabilityMap(cfg, seed=1, weak_cell_fraction=0.0)
+    return DRAMDevice(cfg, vulnerability=vuln, trh=8)
+
+
+class TestDataPlane:
+    def test_rows_default_to_zero(self, device):
+        assert not device.peek_row(3).any()
+
+    def test_poke_peek_round_trip(self, device):
+        data = np.arange(device.config.row_bytes, dtype=np.uint8)
+        device.poke_row(5, data)
+        assert np.array_equal(device.peek_row(5), data)
+
+    def test_poke_bytes_window(self, device):
+        device.poke_bytes(7, 16, [1, 2, 3])
+        row = device.peek_row(7)
+        assert list(row[16:19]) == [1, 2, 3]
+        assert row[15] == 0 and row[19] == 0
+
+    def test_peek_bytes_bounds_checked(self, device):
+        with pytest.raises(ValueError):
+            device.peek_bytes(0, device.config.row_bytes - 4, 8)
+
+    def test_flip_bit_toggles(self, device):
+        device.flip_bit(2, 9)  # byte 1, bit 1
+        assert device.peek_row(2)[1] == 2
+        device.flip_bit(2, 9)
+        assert device.peek_row(2)[1] == 0
+
+
+class TestCommandPlane:
+    def test_activate_opens_row(self, device):
+        device.activate(11)
+        addr = device.mapper.row_address(11)
+        assert device.banks[addr.bank].open_row == 11
+
+    def test_precharge_closes_row(self, device):
+        device.activate(11)
+        device.precharge(0)
+        assert device.banks[0].open_row is None
+
+    def test_burst_requires_open_row(self, device):
+        with pytest.raises(RuntimeError):
+            device.read_burst(4, 0)
+
+    def test_read_burst_returns_data(self, device):
+        device.poke_bytes(4, 64, np.full(64, 7, dtype=np.uint8))
+        device.activate(4)
+        assert np.array_equal(device.read_burst(4, 64), np.full(64, 7, np.uint8))
+
+    def test_write_burst_stores_data(self, device):
+        device.activate(4)
+        device.write_burst(4, 0, np.full(64, 9, dtype=np.uint8))
+        assert device.peek_row(4)[0] == 9
+
+    def test_command_energy_accounted(self, device):
+        device.activate(1)
+        device.precharge(0)
+        assert device.stats.energy.activate == device.energy.e_act
+        assert device.stats.energy.precharge == device.energy.e_pre
+        assert device.stats.activates == 1
+        assert device.stats.precharges == 1
+
+
+class TestRowClone:
+    def test_copies_data_within_subarray(self, device):
+        src = device.mapper.row_index((0, 0, 3))
+        dst = device.mapper.row_index((0, 0, 30))
+        device.poke_bytes(src, 0, [42])
+        device.rowclone(src, dst)
+        assert device.peek_row(dst)[0] == 42
+        assert device.stats.rowclones == 1
+
+    def test_rejects_cross_subarray_copy(self, device):
+        src = device.mapper.row_index((0, 0, 3))
+        dst = device.mapper.row_index((0, 1, 3))
+        with pytest.raises(ValueError):
+            device.rowclone(src, dst)
+
+    def test_rejects_self_copy(self, device):
+        with pytest.raises(ValueError):
+            device.rowclone(5, 5)
+
+    def test_rowclone_activations_hammer(self, device):
+        src = device.mapper.row_index((0, 0, 3))
+        dst = device.mapper.row_index((0, 0, 30))
+        device.rowclone(src, dst)
+        assert device.rowhammer.activation_count(src) == 1
+        assert device.rowhammer.activation_count(dst) == 1
+
+    def test_rowclone_cheaper_than_channel_copy(self, device):
+        """At the paper's 8KB row size the energy saving is ~74x."""
+        clone_nj = device.energy.rowclone_copy_nj()
+        channel_nj = device.energy.channel_copy_nj(8192)
+        assert 50 < channel_nj / clone_nj < 100
+
+
+class TestDisturbanceIntegration:
+    def test_templated_bit_flips_at_threshold(self, device):
+        victim = device.mapper.row_index((0, 0, 4))
+        aggressor = device.mapper.row_index((0, 0, 5))
+        device.vulnerability.register_template(victim, [3])
+        flips = []
+        for _ in range(device.timing.trh):
+            flips += device.activate(aggressor)
+        assert [(f.row, f.bit) for f in flips] == [(victim, 3)]
+        assert device.peek_row(victim)[0] == 1 << 3
+        assert device.stats.bit_flips == 1
+
+    def test_flip_listener_invoked(self, device):
+        victim = device.mapper.row_index((0, 0, 4))
+        aggressor = device.mapper.row_index((0, 0, 5))
+        device.vulnerability.register_template(victim, [0])
+        seen = []
+        device.add_flip_listener(seen.append)
+        for _ in range(device.timing.trh):
+            device.activate(aggressor)
+        assert len(seen) == 1 and seen[0].row == victim
+
+    def test_no_flip_below_threshold(self, device):
+        victim = device.mapper.row_index((0, 0, 4))
+        aggressor = device.mapper.row_index((0, 0, 5))
+        device.vulnerability.register_template(victim, [3])
+        for _ in range(device.timing.trh - 1):
+            device.activate(aggressor)
+        assert not device.peek_row(victim).any()
+
+
+class TestRefresh:
+    def test_refresh_resets_hammer_counters(self, device):
+        aggressor = 5
+        for _ in range(3):
+            device.activate(aggressor)
+        assert device.rowhammer.activation_count(aggressor) == 3
+        # Advance one full refresh window: every row gets refreshed.
+        device.advance(device.timing.tref_w)
+        assert device.rowhammer.activation_count(aggressor) == 0
+
+    def test_refresh_interrupts_hammering(self, device):
+        """Hammering slower than TRH per window never flips."""
+        victim = device.mapper.row_index((0, 0, 4))
+        aggressor = device.mapper.row_index((0, 0, 5))
+        device.vulnerability.register_template(victim, [3])
+        per_window = device.timing.trh - 2
+        for _ in range(3):
+            for _ in range(per_window):
+                device.activate(aggressor)
+            device.advance(device.timing.tref_w)
+        assert not device.peek_row(victim).any()
+
+    def test_refresh_energy_and_count(self, device):
+        device.advance(device.timing.trefi * 10)
+        assert device.stats.refreshes == 10
+        assert device.stats.energy.refresh == pytest.approx(
+            10 * device.energy.e_ref
+        )
+
+    def test_refresh_closes_banks(self, device):
+        device.activate(3)
+        device.advance(device.timing.trefi + 1)
+        assert device.banks[0].open_row is None
+
+    def test_time_cannot_reverse(self, device):
+        with pytest.raises(ValueError):
+            device.advance(-1.0)
+
+
+class TestBackgroundEnergy:
+    def test_background_scales_with_time(self, device):
+        device.advance(1000.0)
+        assert device.stats.energy.background == pytest.approx(
+            device.energy.background_nj(1000.0)
+        )

@@ -1,0 +1,134 @@
+"""RowHammer model: thresholds, multiples, half-double, vulnerability."""
+
+import numpy as np
+import pytest
+
+from repro.dram import AddressMapper, DRAMConfig, RowHammerModel, VulnerabilityMap
+from repro.dram.rowhammer import double_sided_pair
+
+
+@pytest.fixture()
+def cfg():
+    return DRAMConfig.tiny()
+
+
+@pytest.fixture()
+def mapper(cfg):
+    return AddressMapper(cfg)
+
+
+def make_model(cfg, mapper, trh=10, fraction=0.0, half_double=None):
+    vuln = VulnerabilityMap(cfg, seed=3, weak_cell_fraction=fraction)
+    return RowHammerModel(cfg, mapper, vuln, trh=trh, half_double_factor=half_double)
+
+
+class TestThreshold:
+    def test_no_event_below_threshold(self, cfg, mapper):
+        model = make_model(cfg, mapper)
+        for _ in range(9):
+            assert model.on_activate(5, 0.0) == []
+
+    def test_event_at_threshold_multiples(self, cfg, mapper):
+        model = make_model(cfg, mapper)
+        model.vulnerability.register_template(4, [1])
+        events = []
+        for _ in range(30):
+            events += model.on_activate(5, 0.0)
+        flips = [f for e in events for f in e.flips if f.row == 4]
+        assert len(flips) == 3  # at activations 10, 20, 30
+
+    def test_victims_are_both_neighbors(self, cfg, mapper):
+        model = make_model(cfg, mapper)
+        events = []
+        for _ in range(10):
+            events += model.on_activate(5, 0.0)
+        assert events and sorted(events[0].victims) == [4, 6]
+
+    def test_trh_must_be_positive(self, cfg, mapper):
+        vuln = VulnerabilityMap(cfg)
+        with pytest.raises(ValueError):
+            RowHammerModel(cfg, mapper, vuln, trh=0)
+
+
+class TestHalfDouble:
+    def test_distance_two_ring_at_higher_threshold(self, cfg, mapper):
+        model = make_model(cfg, mapper, trh=10, half_double=2.0)
+        model.vulnerability.register_template(3, [0])  # distance 2 from row 5
+        flips = []
+        for _ in range(20):
+            for event in model.on_activate(5, 0.0):
+                flips += [f for f in event.flips if f.row == 3]
+        assert len(flips) == 1  # only at activation 20
+
+    def test_half_double_factor_validated(self, cfg, mapper):
+        vuln = VulnerabilityMap(cfg)
+        with pytest.raises(ValueError):
+            RowHammerModel(cfg, mapper, vuln, trh=10, half_double_factor=0.5)
+
+
+class TestResets:
+    def test_reset_rows_clears_range(self, cfg, mapper):
+        model = make_model(cfg, mapper)
+        model.on_activate(5, 0.0)
+        model.on_activate(70, 0.0)
+        model.reset_rows(0, 64)
+        assert model.activation_count(5) == 0
+        assert model.activation_count(70) == 1
+
+    def test_neutralize_victim_resets_aggressors(self, cfg, mapper):
+        model = make_model(cfg, mapper)
+        for _ in range(5):
+            model.on_activate(5, 0.0)
+        model.neutralize_victim(4)  # rows within radius 2 of row 4 reset
+        assert model.activation_count(5) == 0
+
+    def test_reset_all(self, cfg, mapper):
+        model = make_model(cfg, mapper)
+        model.on_activate(5, 0.0)
+        model.reset_all()
+        assert model.counters == {}
+
+
+class TestVulnerabilityMap:
+    def test_intrinsic_bits_deterministic(self, cfg):
+        a = VulnerabilityMap(cfg, seed=7, weak_cell_fraction=0.01)
+        b = VulnerabilityMap(cfg, seed=7, weak_cell_fraction=0.01)
+        assert np.array_equal(a.intrinsic_weak_bits(12), b.intrinsic_weak_bits(12))
+
+    def test_different_seeds_differ(self, cfg):
+        a = VulnerabilityMap(cfg, seed=7, weak_cell_fraction=0.05)
+        b = VulnerabilityMap(cfg, seed=8, weak_cell_fraction=0.05)
+        assert not np.array_equal(
+            a.intrinsic_weak_bits(12), b.intrinsic_weak_bits(12)
+        )
+
+    def test_fraction_zero_means_no_intrinsic_bits(self, cfg):
+        vuln = VulnerabilityMap(cfg, weak_cell_fraction=0.0)
+        assert vuln.intrinsic_weak_bits(3).size == 0
+
+    def test_templates_merge_with_intrinsic(self, cfg):
+        vuln = VulnerabilityMap(cfg, seed=1, weak_cell_fraction=0.01)
+        intrinsic = set(vuln.intrinsic_weak_bits(9).tolist())
+        vuln.register_template(9, [0, 1])
+        combined = set(vuln.flippable_bits(9).tolist())
+        assert combined == intrinsic | {0, 1}
+
+    def test_clear_templates(self, cfg):
+        vuln = VulnerabilityMap(cfg, weak_cell_fraction=0.0)
+        vuln.register_template(9, [0])
+        vuln.clear_templates(9)
+        assert vuln.flippable_bits(9).size == 0
+
+    def test_template_bounds_checked(self, cfg):
+        vuln = VulnerabilityMap(cfg)
+        with pytest.raises(ValueError):
+            vuln.register_template(9, [cfg.row_bits])
+
+    def test_fraction_validated(self, cfg):
+        with pytest.raises(ValueError):
+            VulnerabilityMap(cfg, weak_cell_fraction=1.5)
+
+
+class TestDoubleSided:
+    def test_pair_for_interior_victim(self, mapper):
+        assert double_sided_pair(mapper, 10) == [9, 11]

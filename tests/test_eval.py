@@ -1,0 +1,141 @@
+"""Evaluation layer: security models, reporting, fast experiment runners."""
+
+import math
+
+import pytest
+
+from repro.eval import (
+    LockerSecurityModel,
+    ShadowSecurityModel,
+    defense_days_from_win_prob,
+    downsample,
+    format_series,
+    format_table,
+    run_fig1b,
+    run_fig5,
+    run_fig7a,
+    run_fig7b,
+    run_rowclone_savings,
+    run_table1,
+)
+
+
+class TestDefenseDays:
+    def test_zero_probability_is_forever(self):
+        assert defense_days_from_win_prob(0.0) == math.inf
+
+    def test_certain_win_is_zero_days(self):
+        assert defense_days_from_win_prob(1.0) == 0.0
+
+    def test_small_probability_approximation(self):
+        """days ~= 0.01 / p windows of 64 ms."""
+        p = 1e-9
+        days = defense_days_from_win_prob(p)
+        expected = (0.01005 / p) * 0.064 / 86400
+        assert days == pytest.approx(expected, rel=0.01)
+
+    def test_monotone_in_probability(self):
+        assert defense_days_from_win_prob(1e-6) > defense_days_from_win_prob(1e-5)
+
+
+class TestShadowModel:
+    def test_defense_days_scale_with_threshold(self):
+        days = [
+            ShadowSecurityModel(threshold=t).defense_days
+            for t in (1000, 2000, 4000, 8000)
+        ]
+        assert days == sorted(days)
+        assert days[3] == pytest.approx(8 * days[0], rel=0.01)
+
+    def test_eight_k_lands_near_paper(self):
+        assert 1500 <= ShadowSecurityModel(threshold=8000).defense_days <= 3500
+
+    def test_latency_plateaus_at_compromise(self):
+        model = ShadowSecurityModel(threshold=1000)
+        cap = model.compromise_attacks
+        assert model.latency_per_tref_s(cap) == model.latency_per_tref_s(cap * 10)
+        assert model.latency_per_tref_s(cap // 2) < model.latency_per_tref_s(cap)
+
+
+class TestLockerModel:
+    def test_exceeds_plot_with_ten_percent_error(self):
+        model = LockerSecurityModel(trh=1000, copy_error_rate=0.10)
+        assert model.defense_days > 4000
+
+    def test_failures_needed_scales_with_trh(self):
+        low = LockerSecurityModel(trh=500)
+        high = LockerSecurityModel(trh=2000)
+        assert high.failures_needed > low.failures_needed
+
+    def test_worse_error_rate_shortens_defense(self):
+        good = LockerSecurityModel(copy_error_rate=0.05)
+        bad = LockerSecurityModel(copy_error_rate=0.5)
+        assert bad.defense_days < good.defense_days
+
+    def test_no_latency_plateau(self):
+        model = LockerSecurityModel()
+        assert model.latency_per_tref_s(80_000) > model.latency_per_tref_s(40_000)
+
+    def test_locker_cheaper_than_shadow_everywhere(self):
+        locker = LockerSecurityModel(trh=1000)
+        shadow = ShadowSecurityModel(threshold=8000)
+        for attacks in (1000, 10_000, 80_000):
+            assert locker.latency_per_tref_s(attacks) < shadow.latency_per_tref_s(
+                attacks
+            )
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [("x", 1), ("yy", 22)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series_pairs(self):
+        text = format_series("s", [1, 10], [0.5, 1.25], "{:.2f}")
+        assert "0.50" in text and "1.25" in text
+
+    def test_downsample_keeps_last_point(self):
+        samples = downsample(list(range(100)), 7)
+        assert samples[-1] == (100, 99)
+        assert len(samples) <= 10
+
+    def test_downsample_empty(self):
+        assert downsample([], 5) == []
+
+
+class TestFastRunners:
+    def test_fig1b_rows(self):
+        rows = dict(run_fig1b())
+        assert rows["DDR4 (new)"] == "10K"
+
+    def test_fig5_round_trip(self):
+        assert run_fig5()["round_trip_ok"]
+
+    def test_fig7a_series_shapes(self):
+        out = run_fig7a()
+        assert set(out["series"]) == {
+            "SHADOW1000",
+            "SHADOW2000",
+            "SHADOW4000",
+            "SHADOW8000",
+            "DL",
+        }
+        for values in out["series"].values():
+            assert len(values) == len(out["attack_counts"])
+
+    def test_fig7b_output(self):
+        out = run_fig7b()
+        assert out["locker_exceeds_plot"]
+        assert set(out["shadow_days"]) == {"1K", "2K", "4K", "8K"}
+
+    def test_table1_has_ten_rows(self):
+        out = run_table1()
+        assert len(out["reports"]) == 10
+
+    def test_rowclone_factors(self):
+        out = run_rowclone_savings()
+        assert out["latency_factor"] > 5
+        assert out["energy_factor"] > 50

@@ -1,0 +1,115 @@
+"""Hardening baselines, window rollover, and sequence/locker integration."""
+
+import numpy as np
+import pytest
+
+from repro.controller import Kind, MemRequest, MemoryController, Sequence
+from repro.defenses import Graphene, TWiCE
+from repro.dram import DRAMConfig, DRAMDevice, VulnerabilityMap
+from repro.locker import DRAMLocker, LockerConfig
+from repro.nn import (
+    TrainConfig,
+    make_dataset,
+    train_baseline,
+    train_binary_weight,
+    train_piecewise_clustering,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_dataset(
+        "hard", 4, hw=8, train_per_class=24, test_per_class=8, seed=5
+    )
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return TrainConfig(epochs=4, batch_size=16, lr=0.1, seed=5)
+
+
+class TestHardening:
+    def test_baseline_trains(self, dataset, quick_config):
+        hardened = train_baseline(dataset, quick_config, width=4)
+        assert hardened.clean_accuracy > 60.0
+        assert hardened.repair is None and not hardened.binary
+
+    def test_piecewise_clustering_pulls_weights_to_two_clusters(
+        self, dataset, quick_config
+    ):
+        hardened = train_piecewise_clustering(
+            dataset, quick_config, clustering_lambda=0.05, width=4
+        )
+        # Strong clustering -> per-layer weight distribution concentrates
+        # near +/- mean|W|: the normalized spread around the two centers
+        # is small.
+        layer = next(iter(hardened.model.weight_layers().values()))
+        weight = layer.weight.value
+        center = np.mean(np.abs(weight))
+        spread = np.mean(np.abs(np.abs(weight) - center)) / (center + 1e-9)
+        assert spread < 0.9
+
+    def test_binary_weights_are_two_valued_in_forward(self, dataset, quick_config):
+        hardened = train_binary_weight(dataset, quick_config, width=4)
+        assert hardened.binary
+        layer = next(iter(hardened.model.weight_layers().values()))
+        effective = layer.effective_weight()
+        assert len(np.unique(np.abs(np.round(effective, 6)))) == 1
+
+
+class TestWindowRollover:
+    def test_defense_tables_reset_each_refresh_window(self):
+        cfg = DRAMConfig.tiny()
+        device = DRAMDevice(
+            cfg, vulnerability=VulnerabilityMap(cfg, weak_cell_fraction=0.0), trh=500
+        )
+        defense = Graphene(table_entries=8)
+        controller = MemoryController(device, defense=defense)
+        controller.hammer(9, count=20)
+        assert defense._tables[0].estimate(9) == 20
+        device.advance(device.timing.tref_w * 1.01)
+        controller.hammer(9, count=1)
+        assert defense._tables[0].estimate(9) == 1
+
+    def test_twice_window_reset(self):
+        cfg = DRAMConfig.tiny()
+        device = DRAMDevice(
+            cfg, vulnerability=VulnerabilityMap(cfg, weak_cell_fraction=0.0), trh=500
+        )
+        defense = TWiCE(prune_period=10_000)
+        controller = MemoryController(device, defense=defense)
+        controller.hammer(9, count=5)
+        device.advance(device.timing.tref_w * 1.01)
+        controller.hammer(9, count=1)
+        assert defense._counts[9] == 1
+
+
+class TestSequenceIntegration:
+    def test_mixed_attacker_and_victim_traffic(self):
+        cfg = DRAMConfig.tiny()
+        device = DRAMDevice(
+            cfg, vulnerability=VulnerabilityMap(cfg, weak_cell_fraction=0.0), trh=30
+        )
+        locker = DRAMLocker(device, LockerConfig(relock_interval=50))
+        controller = MemoryController(device, locker=locker)
+        weight_row = 20
+        device.vulnerability.register_template(weight_row, [0])
+        locker.protect([weight_row])
+
+        seq = Sequence(controller)
+        for _ in range(100):
+            seq.push(MemRequest(Kind.ACT, 19))  # attacker
+            seq.push(MemRequest(Kind.READ, weight_row, privileged=True))  # victim
+        report = seq.drain()
+        assert report.blocked == 100
+        assert report.executed == 100
+        assert report.blocked_latency_saved_ns > 0
+        assert not device.peek_row(weight_row).any()
+
+    def test_lock_table_occupancy_tracks_protection(self):
+        cfg = DRAMConfig.small()
+        device = DRAMDevice(cfg, trh=1000)
+        locker = DRAMLocker(device)
+        plan = locker.protect(range(0, 40, 2))
+        assert len(locker.table) == len(plan.locked_rows)
+        assert 0 < locker.table.occupancy < 0.01

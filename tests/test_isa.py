@@ -1,0 +1,166 @@
+"""Micro-ISA: encoding, assembler, executor, canonical programs."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram import DRAMConfig, DRAMDevice
+from repro.isa import (
+    AssemblyError,
+    ExecutionError,
+    Instruction,
+    MicroExecutor,
+    MicroRegisterFile,
+    NUM_MICRO_REGS,
+    Opcode,
+    assemble,
+    bnez,
+    copy,
+    decode,
+    disassemble,
+    done,
+    encode,
+    repeat_copy_program,
+    swap_program,
+)
+from repro.isa.programs import REG_BUFFER, REG_FREE, REG_LOCKED
+
+
+class TestEncoding:
+    @given(
+        st.integers(min_value=0, max_value=NUM_MICRO_REGS - 1),
+        st.integers(min_value=0, max_value=NUM_MICRO_REGS - 1),
+    )
+    def test_copy_round_trip(self, dst, src):
+        assert decode(encode(copy(dst, src))) == copy(dst, src)
+
+    @given(
+        st.integers(min_value=0, max_value=NUM_MICRO_REGS - 1),
+        st.integers(min_value=-64, max_value=63),
+    )
+    def test_bnez_round_trip(self, reg, offset):
+        assert decode(encode(bnez(reg, offset))) == bnez(reg, offset)
+
+    def test_done_round_trip(self):
+        assert decode(encode(done())).opcode is Opcode.DONE
+
+    def test_words_are_16_bit(self):
+        for instruction in (copy(127, 127), bnez(127, -64), done()):
+            word = encode(instruction)
+            assert 0 <= word <= 0xFFFF
+
+    def test_opcode_assignment_matches_figure(self):
+        """Fig. 5: OP=01 row copy, OP=10 bnez, OP=11 done."""
+        assert encode(copy(0, 0)) >> 14 == 0b01
+        assert encode(bnez(0, 0)) >> 14 == 0b10
+        assert encode(done()) >> 14 == 0b11
+
+    def test_register_bounds(self):
+        with pytest.raises(ValueError):
+            copy(NUM_MICRO_REGS, 0)
+        with pytest.raises(ValueError):
+            bnez(0, 64)
+
+    def test_decode_rejects_wide_words(self):
+        with pytest.raises(ValueError):
+            decode(0x10000)
+
+
+class TestAssembler:
+    def test_assemble_disassemble_round_trip(self):
+        source = "copy r1, r2\nbnez r4, -1\ndone"
+        words = assemble(source)
+        assert disassemble(words) == source
+
+    def test_comments_and_blank_lines(self):
+        words = assemble("; header\n\ncopy r1, r2 ; trailing\n  done  ")
+        assert len(words) == 2
+
+    def test_case_insensitive(self):
+        assert assemble("COPY R1, R2") == assemble("copy r1, r2")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError, match="line 2"):
+            assemble("done\nfrobnicate r1")
+
+    def test_register_range_checked(self):
+        with pytest.raises(AssemblyError):
+            assemble("copy r200, r0")
+
+
+class TestExecutor:
+    def test_copy_dispatches_rows_from_registers(self):
+        log = []
+        executor = MicroExecutor(lambda s, d: log.append((s, d)))
+        executor.registers.load({1: 17, 2: 23})
+        result = executor.run([encode(copy(1, 2)), encode(done())])
+        assert log == [(23, 17)]
+        assert result.copies == 1 and result.halted
+
+    def test_bnez_loop_repeats(self):
+        log = []
+        executor = MicroExecutor(lambda s, d: log.append((s, d)))
+        executor.registers.load({1: 5, 2: 6, 4: 4})
+        result = executor.run(repeat_copy_program(1, 2, count_reg=4))
+        assert len(log) == 4
+        assert result.halted
+
+    def test_missing_done_falls_off_end(self):
+        executor = MicroExecutor(lambda s, d: None)
+        result = executor.run([encode(copy(0, 0))])
+        assert not result.halted
+
+    def test_runaway_program_raises(self):
+        executor = MicroExecutor(lambda s, d: None, max_steps=100)
+        executor.registers.load({4: 0})  # decrements to -1, never zero
+        with pytest.raises(ExecutionError):
+            executor.run([encode(bnez(4, 0))])
+
+    def test_branch_before_start_raises(self):
+        executor = MicroExecutor(lambda s, d: None)
+        executor.registers.load({4: 10})
+        with pytest.raises(ExecutionError):
+            executor.run([encode(bnez(4, -5))])
+
+    def test_register_file_bounds(self):
+        regs = MicroRegisterFile()
+        with pytest.raises(IndexError):
+            regs[NUM_MICRO_REGS]
+
+
+class TestSwapProgram:
+    def test_swap_exchanges_row_data_on_device(self):
+        device = DRAMDevice(DRAMConfig.tiny(), trh=1000)
+        mapper = device.mapper
+        locked = mapper.row_index((0, 0, 10))
+        free = mapper.row_index((0, 0, 60))
+        buffer_row = mapper.row_index((0, 0, 61))
+        device.poke_bytes(locked, 0, [0xAA])
+        device.poke_bytes(free, 0, [0xBB])
+
+        executor = MicroExecutor(device.rowclone)
+        executor.registers.load(
+            {REG_LOCKED: locked, REG_FREE: free, REG_BUFFER: buffer_row}
+        )
+        result = executor.run(swap_program())
+
+        assert result.copies == 3 and result.halted
+        assert device.peek_row(locked)[0] == 0xBB
+        assert device.peek_row(free)[0] == 0xAA
+
+    def test_swap_program_is_three_copies_and_done(self):
+        program = swap_program()
+        decoded = [decode(word) for word in program]
+        assert [i.opcode for i in decoded] == [
+            Opcode.COPY,
+            Opcode.COPY,
+            Opcode.COPY,
+            Opcode.DONE,
+        ]
+
+    def test_instruction_str_forms(self):
+        assert str(copy(1, 2)) == "copy r1, r2"
+        assert str(bnez(3, -2)) == "bnez r3, -2"
+        assert str(done()) == "done"
+        assert str(Instruction(Opcode.NOP)) == "nop"

@@ -1,0 +1,261 @@
+"""DRAM-Locker: lock-table, planner, swap engine, end-to-end policy."""
+
+import numpy as np
+import pytest
+
+from repro.controller import Kind, MemRequest, MemoryController
+from repro.dram import DRAMConfig, DRAMDevice, VulnerabilityMap
+from repro.locker import (
+    DRAMLocker,
+    LockMode,
+    LockTable,
+    LockTableFullError,
+    LockerConfig,
+    SwapEngine,
+    plan_protection,
+)
+
+
+def make_device(trh=50):
+    cfg = DRAMConfig.tiny()
+    vuln = VulnerabilityMap(cfg, weak_cell_fraction=0.0)
+    return DRAMDevice(cfg, vulnerability=vuln, trh=trh)
+
+
+class TestLockTable:
+    def test_lock_unlock_cycle(self):
+        table = LockTable()
+        table.lock(5)
+        assert table.is_locked(5)
+        table.unlock(5)
+        assert not table.is_locked(5)
+
+    def test_lookup_statistics(self):
+        table = LockTable()
+        table.lock(5)
+        table.is_locked(5)
+        table.is_locked(6)
+        assert table.lookups == 2 and table.hits == 1
+
+    def test_capacity_enforced(self):
+        table = LockTable(capacity_bytes=8)  # two 4-byte entries
+        table.lock(1)
+        table.lock(2)
+        with pytest.raises(LockTableFullError):
+            table.lock(3)
+
+    def test_relocking_same_row_is_free(self):
+        table = LockTable(capacity_bytes=4)
+        table.lock(1)
+        table.lock(1)  # no capacity error
+        assert len(table) == 1
+
+    def test_paper_default_capacity(self):
+        table = LockTable()
+        assert table.capacity_bytes == 56 * 1024
+        assert table.capacity_entries == 14336
+
+    def test_occupancy_and_snapshot(self):
+        table = LockTable()
+        table.lock_all([1, 2, 3])
+        assert table.occupancy == pytest.approx(3 / table.capacity_entries)
+        assert table.snapshot() == frozenset({1, 2, 3})
+
+
+class TestPlanner:
+    def test_adjacent_mode_locks_neighbors_only(self):
+        device = make_device()
+        plan = plan_protection(device.mapper, [10], mode=LockMode.ADJACENT)
+        assert plan.locked_rows == frozenset({9, 11})
+        assert plan.is_complete
+
+    def test_contiguous_data_leaves_holes_in_adjacent_mode(self):
+        device = make_device()
+        plan = plan_protection(device.mapper, [10, 11, 12], mode=LockMode.ADJACENT)
+        assert plan.locked_rows == frozenset({9, 13})
+        assert not plan.is_complete
+        assert plan.uncovered_victims  # interior rows hammerable via data rows
+
+    def test_all_mode_closes_the_holes(self):
+        device = make_device()
+        plan = plan_protection(device.mapper, [10, 11, 12], mode=LockMode.ALL)
+        assert plan.is_complete
+        assert plan.locked_rows == frozenset({9, 10, 11, 12, 13})
+
+    def test_radius_two_plan(self):
+        device = make_device()
+        plan = plan_protection(device.mapper, [10], radius=2)
+        assert plan.locked_rows == frozenset({8, 9, 11, 12})
+
+
+class TestSwapEngine:
+    def test_successful_swap_exchanges_data(self):
+        device = make_device()
+        engine = SwapEngine(device)
+        a, b, buf = 10, 60, 61
+        device.poke_bytes(a, 0, [1])
+        device.poke_bytes(b, 0, [2])
+        result = engine.swap(a, b, buf)
+        assert result.success and result.copies_failed == 0
+        assert device.peek_row(a)[0] == 2
+        assert device.peek_row(b)[0] == 1
+        assert result.latency_ns == pytest.approx(3 * device.timing.rowclone_ns)
+
+    def test_failed_swap_leaves_data_in_place(self):
+        device = make_device()
+        engine = SwapEngine(device, copy_error_rate=0.999999)
+        device.poke_bytes(10, 0, [1])
+        device.poke_bytes(60, 0, [2])
+        result = engine.swap(10, 60, 61)
+        assert not result.success
+        assert device.peek_row(10)[0] == 1
+        assert device.peek_row(60)[0] == 2
+
+    def test_distinct_rows_required(self):
+        device = make_device()
+        engine = SwapEngine(device)
+        with pytest.raises(ValueError):
+            engine.swap(10, 10, 61)
+
+    def test_same_subarray_required(self):
+        device = make_device()
+        engine = SwapEngine(device)
+        other = device.mapper.row_index((0, 1, 0))
+        with pytest.raises(ValueError):
+            engine.swap(10, other, 61)
+
+    def test_error_rate_validated(self):
+        device = make_device()
+        with pytest.raises(ValueError):
+            SwapEngine(device, copy_error_rate=1.0)
+
+    def test_failure_rate_statistics(self):
+        device = make_device()
+        engine = SwapEngine(device, copy_error_rate=0.5, rng=np.random.default_rng(1))
+        for _ in range(200):
+            engine.swap(10, 60, 61)
+        assert 0.7 < engine.swaps_failed / engine.swaps_attempted < 0.95
+
+
+class TestLockerPolicy:
+    def make_system(self, **kwargs):
+        device = make_device()
+        locker = DRAMLocker(device, LockerConfig(**kwargs))
+        controller = MemoryController(device, locker=locker)
+        return device, locker, controller
+
+    def test_unprivileged_access_to_locked_row_blocked(self):
+        device, locker, controller = self.make_system()
+        locker.lock_rows([9])
+        result = controller.read(9)
+        assert result.blocked
+        assert device.stats.blocked_requests == 1
+        assert device.rowhammer.activation_count(9) == 0
+
+    def test_protect_blocks_hammering_of_weights(self):
+        device, locker, controller = self.make_system()
+        weight_row = 10
+        device.vulnerability.register_template(weight_row, [0])
+        locker.protect([weight_row])
+        controller.hammer(9, count=device.timing.trh * 2)
+        controller.hammer(11, count=device.timing.trh * 2)
+        assert not device.peek_row(weight_row).any()
+        assert device.stats.bit_flips == 0
+
+    def test_privileged_access_swaps_and_serves(self):
+        device, locker, controller = self.make_system()
+        device.poke_bytes(9, 0, [0x5A])
+        locker.lock_rows([9])
+        result = controller.read(9, privileged=True)
+        assert not result.blocked and result.swapped
+        assert result.physical_row != 9
+        assert device.peek_row(result.physical_row)[0] == 0x5A
+
+    def test_subsequent_access_uses_remapped_row_without_new_swap(self):
+        device, locker, controller = self.make_system(relock_interval=1000)
+        locker.lock_rows([9])
+        first = controller.read(9, privileged=True)
+        second = controller.read(9, privileged=True)
+        assert second.physical_row == first.physical_row
+        assert not second.swapped
+
+    def test_relock_restores_data_home(self):
+        device, locker, controller = self.make_system(relock_interval=5)
+        device.poke_bytes(9, 0, [0x5A])
+        locker.lock_rows([9])
+        controller.read(9, privileged=True)
+        for _ in range(6):
+            controller.read(20, privileged=True)
+        assert locker.translate(9) == 9
+        assert device.peek_row(9)[0] == 0x5A
+        assert locker.restores == 1
+
+    def test_failed_swap_opens_exposure_window(self):
+        device, locker, controller = self.make_system(
+            copy_error_rate=0.999999, relock_interval=5
+        )
+        locker.lock_rows([9])
+        result = controller.read(9, privileged=True)
+        assert not result.blocked and not result.swapped
+        assert result.physical_row == 9
+        assert 9 in locker.exposed
+        # During the window, the attacker can hammer the exposed row.
+        attack = controller.execute(MemRequest(Kind.ACT, 9))
+        assert not attack.blocked
+        # After the re-secure deadline, the row is enforced again.
+        for _ in range(6):
+            controller.read(20)
+        attack = controller.execute(MemRequest(Kind.ACT, 9))
+        assert attack.blocked
+
+    def test_block_policy_without_fallback(self):
+        device, locker, controller = self.make_system(
+            copy_error_rate=0.999999, fallback_on_swap_failure=False
+        )
+        locker.lock_rows([9])
+        result = controller.read(9, privileged=True)
+        assert result.blocked
+
+    def test_failed_restore_locks_new_location(self):
+        device, locker, controller = self.make_system(relock_interval=3)
+        locker.lock_rows([9])
+        first = controller.read(9, privileged=True)
+        new_home = first.physical_row
+        # Force the restoring swap to fail.
+        locker.swap_engine.copy_error_rate = 0.999999
+        for _ in range(4):
+            controller.read(20)
+        assert locker.translate(9) == new_home
+        assert new_home in locker.table
+        assert locker.failed_restores == 1
+
+    def test_lock_lookup_cost_charged_per_request(self):
+        device, locker, controller = self.make_system()
+        controller.read(20)
+        assert device.stats.lock_lookups == 1
+        assert device.stats.energy.lock_table > 0
+
+    def test_overhead_report_matches_paper_row(self):
+        device, locker, _ = self.make_system()
+        report = locker.overhead(device.config)
+        assert report.capacity == {"DRAM": 0, "SRAM": 56 * 1024}
+        assert report.area_pct == 0.02
+        assert report.capacity_text() == "0+56KB†"
+
+
+class TestPermutationInvariant:
+    def test_translate_remains_bijective_under_traffic(self):
+        device = make_device()
+        locker = DRAMLocker(device, LockerConfig(relock_interval=4, seed=3))
+        controller = MemoryController(device, locker=locker)
+        locker.lock_rows([9, 21, 33])
+        rng = np.random.default_rng(0)
+        rows = [9, 21, 33, 10, 20, 30, 40]
+        for _ in range(200):
+            row = int(rng.choice(rows))
+            controller.read(row, privileged=bool(rng.integers(2)))
+        seen = {}
+        for row in range(device.config.total_rows):
+            physical = locker.translate(row)
+            assert physical not in seen, "two logical rows share a physical row"
+            seen[physical] = row

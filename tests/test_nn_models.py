@@ -1,0 +1,162 @@
+"""Models, datasets, training, quantization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Model,
+    QuantizedModel,
+    TrainConfig,
+    make_dataset,
+    resnet20,
+    synthetic_cifar10,
+    synthetic_cifar100,
+    train,
+    vgg11,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return make_dataset("tiny", 4, hw=8, train_per_class=24, test_per_class=12, seed=3)
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_dataset):
+    # Small batches: batch-norm running stats need enough updates to
+    # converge before eval-mode inference is meaningful.
+    model = resnet20(num_classes=4, width=4, input_hw=8, seed=1)
+    history = train(
+        model, tiny_dataset, TrainConfig(epochs=8, batch_size=16, lr=0.1, seed=1)
+    )
+    return model, history
+
+
+class TestArchitectures:
+    def test_resnet20_has_20_weight_layers_plus_shortcuts(self):
+        model = resnet20(width=8, input_hw=16)
+        convs_and_linears = model.weight_layers()
+        # 1 stem + 18 block convs + 1 classifier + 2 projection shortcuts
+        assert len(convs_and_linears) == 22
+
+    def test_resnet20_forward_shape(self):
+        model = resnet20(num_classes=10, width=4, input_hw=16)
+        logits = model.forward(np.zeros((2, 3, 16, 16), dtype=np.float32))
+        assert logits.shape == (2, 10)
+
+    def test_vgg11_forward_shape(self):
+        model = vgg11(num_classes=100, width=8, input_hw=32)
+        logits = model.forward(np.zeros((2, 3, 32, 32), dtype=np.float32))
+        assert logits.shape == (2, 100)
+
+    def test_vgg11_has_8_convs_and_classifier(self):
+        model = vgg11(width=8, input_hw=32)
+        assert len(model.weight_layers()) == 9
+
+    def test_parameter_names_unique_and_hierarchical(self):
+        model = resnet20(width=4, input_hw=8)
+        names = list(model.parameters())
+        assert len(names) == len(set(names))
+        assert any("conv1.weight" in n for n in names)
+
+    def test_width_scales_parameters(self):
+        small = resnet20(width=4, input_hw=8).parameter_count()
+        big = resnet20(width=8, input_hw=8).parameter_count()
+        assert 3 < big / small < 5  # ~4x parameters for 2x width
+
+
+class TestDatasets:
+    def test_shapes_and_determinism(self):
+        a = make_dataset("d", 3, hw=8, train_per_class=4, test_per_class=2, seed=9)
+        b = make_dataset("d", 3, hw=8, train_per_class=4, test_per_class=2, seed=9)
+        assert a.train_x.shape == (12, 3, 8, 8)
+        assert np.array_equal(a.train_x, b.train_x)
+
+    def test_different_seeds_differ(self):
+        a = make_dataset("d", 3, hw=8, seed=1)
+        b = make_dataset("d", 3, hw=8, seed=2)
+        assert not np.array_equal(a.train_x, b.train_x)
+
+    def test_presets(self):
+        c10 = synthetic_cifar10(hw=8, train_per_class=2, test_per_class=2)
+        c100 = synthetic_cifar100(hw=8)
+        assert c10.num_classes == 10
+        assert c100.num_classes == 100
+
+    def test_attack_batch_sampling(self):
+        ds = synthetic_cifar10(hw=8, train_per_class=2, test_per_class=4)
+        x, y = ds.sample_attack_batch(16, np.random.default_rng(0))
+        assert x.shape[0] == 16 and y.shape == (16,)
+
+    def test_batches_cover_all_training_data(self):
+        ds = make_dataset("d", 2, hw=8, train_per_class=10, test_per_class=2)
+        seen = 0
+        for x, _ in ds.batches(8, np.random.default_rng(0)):
+            seen += x.shape[0]
+        assert seen == 20
+
+
+class TestTraining:
+    def test_model_learns_synthetic_task(self, trained, tiny_dataset):
+        model, history = trained
+        assert history.final_accuracy > 80.0
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_untrained_model_scores_chance(self, tiny_dataset):
+        model = resnet20(num_classes=4, width=4, input_hw=8, seed=2)
+        accuracy = model.accuracy(tiny_dataset.test_x, tiny_dataset.test_y)
+        assert accuracy < 60.0  # 4 classes: chance is 25%
+
+
+class TestQuantization:
+    def test_quantization_preserves_accuracy(self, trained, tiny_dataset):
+        model, _ = trained
+        before = model.accuracy(tiny_dataset.test_x, tiny_dataset.test_y)
+        QuantizedModel(model)
+        after = model.accuracy(tiny_dataset.test_x, tiny_dataset.test_y)
+        assert abs(before - after) < 5.0
+
+    def test_dequantize_round_trip_error_bounded(self, trained):
+        model, _ = trained
+        qmodel = QuantizedModel(model)
+        for name, layer in model.weight_layers().items():
+            tensor = qmodel.tensors[name]
+            assert np.max(np.abs(layer.weight.value - tensor.dequantize())) <= (
+                tensor.scale / 2 + 1e-6
+            )
+
+    def test_flip_msb_changes_weight_sign_region(self, trained):
+        model, _ = trained
+        qmodel = QuantizedModel(model)
+        name = next(iter(qmodel.tensors))
+        tensor = qmodel.tensors[name]
+        before = int(tensor.q.reshape(-1)[0])
+        qmodel.flip_bit(name, 0, 7)
+        after = int(tensor.q.reshape(-1)[0])
+        assert after == ((before + 256) ^ 0x80) - 256 or after == before ^ -128
+
+    def test_double_flip_restores(self, trained):
+        model, _ = trained
+        qmodel = QuantizedModel(model)
+        name = next(iter(qmodel.tensors))
+        before = qmodel.tensors[name].q.copy()
+        qmodel.flip_bit(name, 3, 5)
+        qmodel.flip_bit(name, 3, 5)
+        assert np.array_equal(qmodel.tensors[name].q, before)
+
+    def test_snapshot_restore(self, trained):
+        model, _ = trained
+        qmodel = QuantizedModel(model)
+        snapshot = qmodel.snapshot()
+        name = next(iter(qmodel.tensors))
+        qmodel.flip_bit(name, 0, 7)
+        qmodel.restore(snapshot)
+        assert np.array_equal(qmodel.tensors[name].q, snapshot[name])
+
+    def test_bytes_round_trip(self, trained):
+        model, _ = trained
+        qmodel = QuantizedModel(model)
+        tensor = next(iter(qmodel.tensors.values()))
+        image = tensor.to_bytes()
+        tensor.from_bytes(image)
+        assert np.array_equal(tensor.to_bytes(), image)
