@@ -8,122 +8,55 @@
    other; the planner quantifies the holes a contiguous layout leaves.
 3. **Re-lock interval**: shorter intervals re-secure faster but cost
    more restore SWAPs under tenant traffic.
+
+All three run as one harness matrix -- the same ``ablation_*`` scenario
+specs the CI smoke job executes.
 """
 
-import numpy as np
+from repro.eval import Scale, Scenario, run_matrix
 
-from repro.controller import MemoryController
-from repro.dram import DRAMConfig, DRAMDevice, VulnerabilityMap
-from repro.locker import DRAMLocker, LockMode, LockerConfig, plan_protection
-from repro.nn import QuantizedModel, WeightStore, resnet20
-
-
-def make_device(trh=100, half_double=None):
-    cfg = DRAMConfig.small()
-    return DRAMDevice(
-        cfg,
-        vulnerability=VulnerabilityMap(cfg, weak_cell_fraction=0.0),
-        trh=trh,
-        half_double_factor=half_double,
-    )
+ABLATION_SCENARIOS = [
+    Scenario("ablation-radius", "ablation_radius", Scale.quick()),
+    Scenario("ablation-layout", "ablation_layout", Scale.quick()),
+    Scenario("ablation-relock", "ablation_relock", Scale.quick(), seed=0),
+]
 
 
-def half_double_attack(device, controller, victim, bit):
-    """Hammer at distance 2 (Half-Double) until the bit flips or budget ends."""
-    device.vulnerability.register_template(victim, [bit])
-    aggressors = [
-        row
-        for row in device.mapper.neighbors(victim, radius=2)
-        if row not in device.mapper.neighbors(victim, radius=1)
-    ]
-    budget = device.timing.trh * 6
-    for _ in range(budget // max(1, len(aggressors))):
-        for aggressor in aggressors:
-            controller.hammer(aggressor)
-            byte = device.peek_bytes(victim, bit // 8, 1)[0]
-            if byte >> (bit % 8) & 1:
-                return True
-    return False
+def run_ablation_matrix() -> dict[str, dict]:
+    matrix = run_matrix(ABLATION_SCENARIOS, workers=1, tag="ablations")
+    assert not matrix.failures, matrix.failures
+    return {result.name: result.payload for result in matrix.results}
 
 
-def run_radius_ablation():
-    outcomes = {}
-    for radius in (1, 2):
-        device = make_device(half_double=2.0)
-        locker = DRAMLocker(device, LockerConfig())
-        controller = MemoryController(device, locker=locker)
-        victim = device.mapper.row_index((0, 0, 20))
-        locker.protect([victim], radius=radius)
-        outcomes[radius] = half_double_attack(device, controller, victim, 3)
-    return outcomes
+def test_ablation_matrix(benchmark):
+    payloads = benchmark.pedantic(run_ablation_matrix, rounds=1, iterations=1)
 
-
-def run_layout_ablation():
-    qmodel = QuantizedModel(resnet20(num_classes=4, width=4, input_hw=8, seed=0))
-    coverage = {}
-    for guard in (True, False):
-        device = make_device()
-        store = WeightStore(device, qmodel, guard_rows=True if guard else False)
-        plan = plan_protection(
-            device.mapper, store.data_rows, mode=LockMode.ADJACENT
-        )
-        coverage[guard] = {
-            "data_rows": len(store.data_rows),
-            "locked_rows": len(plan.locked_rows),
-            "uncovered_victims": len(plan.uncovered_victims),
-            "complete": plan.is_complete,
-        }
-    return coverage
-
-
-def run_relock_ablation(intervals=(50, 200, 800)):
-    results = {}
-    for interval in intervals:
-        device = make_device()
-        locker = DRAMLocker(device, LockerConfig(relock_interval=interval))
-        controller = MemoryController(device, locker=locker)
-        locker.lock_rows([21])
-        rng = np.random.default_rng(0)
-        for _ in range(2000):
-            row = int(rng.choice([21, 30, 40]))
-            controller.read(row, privileged=True)
-        results[interval] = {
-            "unlock_swaps": locker.unlock_swaps,
-            "restores": locker.restores,
-            "defense_ns": device.stats.defense_ns,
-        }
-    return results
-
-
-def test_ablation_lock_radius_vs_half_double(benchmark):
-    outcomes = benchmark.pedantic(run_radius_ablation, rounds=1, iterations=1)
+    outcomes = payloads["ablation-radius"]
     print()
     print("=== Ablation: lock radius vs Half-Double (distance-2) attack ===")
     for radius, flipped in outcomes.items():
         print(f"radius {radius}: bit flipped = {flipped}")
-    assert outcomes[1] is True  # radius-1 locking misses Half-Double
-    assert outcomes[2] is False  # radius-2 locking stops it
+    assert outcomes["1"] is True  # radius-1 locking misses Half-Double
+    assert outcomes["2"] is False  # radius-2 locking stops it
 
-
-def test_ablation_guard_layout_coverage(benchmark):
-    coverage = benchmark.pedantic(run_layout_ablation, rounds=1, iterations=1)
+    coverage = payloads["ablation-layout"]
     print()
     print("=== Ablation: guard-row vs contiguous weight layout ===")
-    for guard, stats in coverage.items():
-        layout = "guard-rows" if guard else "contiguous"
+    for layout, stats in coverage.items():
         print(f"{layout}: {stats}")
-    assert coverage[True]["complete"]
-    assert not coverage[False]["complete"]
-    assert coverage[False]["uncovered_victims"] > 0
+    assert coverage["guard-rows"]["complete"]
+    assert not coverage["contiguous"]["complete"]
+    assert coverage["contiguous"]["uncovered_victims"] > 0
 
-
-def test_ablation_relock_interval(benchmark):
-    results = benchmark.pedantic(run_relock_ablation, rounds=1, iterations=1)
+    results = payloads["ablation-relock"]
     print()
     print("=== Ablation: re-lock interval vs SWAP traffic ===")
     for interval, stats in results.items():
-        print(f"interval {interval:4d}: {stats}")
-    swaps = [results[i]["unlock_swaps"] for i in sorted(results)]
+        print(f"interval {int(interval):4d}: {stats}")
+    swaps = [
+        results[interval]["unlock_swaps"]
+        for interval in sorted(results, key=int)
+    ]
     # Shorter intervals re-lock sooner -> more unlock swaps under traffic.
     assert swaps[0] >= swaps[-1]
     assert all(results[i]["restores"] > 0 for i in results)

@@ -5,14 +5,30 @@ Both run against the full simulated stack: weights in DRAM behind the
 controller, attacker hammering through it, DRAM-Locker charged with the
 +/-20% process corner's 9.6% SWAP failure rate.
 
+Both figures are expressed as harness :class:`Scenario` specs and
+executed through ``run_matrix`` -- the same specs the CI smoke job and
+``python -m repro.eval matrix`` run, so the benchmark, the CI artifact,
+and the CLI can never drift apart.
+
 Paper shape: the unprotected curve collapses within tens of iterations;
 the protected curve degrades at roughly the swap-failure rate, i.e.
 ~10x slower.
 """
 
-import pytest
+from repro.eval import Scale, Scenario, downsample, format_series, run_matrix
 
-from repro.eval import Scale, downsample, format_series, run_fig8
+
+def run_fig8_scenario(arch: str, scale: Scale) -> dict:
+    """One Fig. 8 panel as a single-scenario harness matrix."""
+    name = f"fig8-{arch}"
+    matrix = run_matrix(
+        [Scenario(name, "fig8", scale, seed=0, params=(("arch", arch),))],
+        workers=1,
+        tag=name,
+    )
+    result = matrix[name]
+    assert result.ok, result.error
+    return result.payload
 
 
 def check_and_print(result, title):
@@ -44,7 +60,7 @@ def check_and_print(result, title):
 
 def test_fig8a_resnet20(benchmark):
     result = benchmark.pedantic(
-        run_fig8,
+        run_fig8_scenario,
         kwargs={"arch": "resnet20", "scale": Scale.quick()},
         rounds=1,
         iterations=1,
@@ -53,10 +69,9 @@ def test_fig8a_resnet20(benchmark):
 
 
 def test_fig8b_vgg11(benchmark):
-    scale = Scale.quick()
     result = benchmark.pedantic(
-        run_fig8,
-        kwargs={"arch": "vgg11", "scale": scale},
+        run_fig8_scenario,
+        kwargs={"arch": "vgg11", "scale": Scale.quick()},
         rounds=1,
         iterations=1,
     )

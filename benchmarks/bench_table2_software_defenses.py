@@ -1,16 +1,34 @@
 """Table II: DRAM-Locker vs training-based defenses (ResNet-20).
 
+Runs as a harness scenario (the same spec the CI smoke matrix uses).
+
 Paper shape: every training-based defense trades clean accuracy for
 some BFA resistance and still breaks within its flip budget;
 DRAM-Locker preserves clean accuracy exactly and does not break.
 """
 
-from repro.eval import Scale, format_table, run_table2
+from repro.eval import Scale, Scenario, format_table, run_matrix
+
+
+def run_table2_scenario(scale: Scale, flip_budget: int) -> dict:
+    matrix = run_matrix(
+        [
+            Scenario(
+                "table2", "table2", scale, seed=0,
+                params=(("flip_budget", flip_budget),),
+            )
+        ],
+        workers=1,
+        tag="table2",
+    )
+    result = matrix["table2"]
+    assert result.ok, result.error
+    return result.payload
 
 
 def test_table2_software_defenses(benchmark):
     result = benchmark.pedantic(
-        run_table2,
+        run_table2_scenario,
         kwargs={"scale": Scale.quick(), "flip_budget": 30},
         rounds=1,
         iterations=1,

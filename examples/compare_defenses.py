@@ -6,91 +6,53 @@ alongside the measured behaviour: whether the flip landed, how much
 mitigation latency the defense charged, and what it did (refreshes,
 row moves, blocks).
 
-Run with:  python examples/compare_defenses.py
+Each contender is one ``defense_campaign`` harness scenario, so the
+whole sweep fans out over worker processes:
+
+Run with:  python examples/compare_defenses.py [--workers N]
 """
 
-from repro.controller import MemoryController
-from repro.core import DRAMLocker, LockerConfig
-from repro.defenses import (
-    PARA,
-    RRS,
-    SRS,
-    TRR,
-    CounterPerRow,
-    CounterTree,
-    Graphene,
-    Hydra,
-    NoDefense,
-    Shadow,
-    TWiCE,
-    format_table1,
-)
-from repro.dram import DRAMConfig, DRAMDevice, VulnerabilityMap
-from repro.eval import format_table
+import argparse
+
+from repro.defenses import format_table1
+from repro.eval import Scale, Scenario, format_table, run_matrix
+from repro.eval.harness import DEFENSE_BUILDERS
 
 TRH = 400
-VICTIM_LOCAL = 20
-TARGET_BIT = 5
 
 
-def run_campaign(defense_factory, use_locker=False):
-    config = DRAMConfig.small()
-    vulnerability = VulnerabilityMap(config, weak_cell_fraction=0.0)
-    device = DRAMDevice(config, vulnerability=vulnerability, trh=TRH)
-    victim = device.mapper.row_index((0, 0, VICTIM_LOCAL))
-    locker = None
-    defense = None
-    if use_locker:
-        locker = DRAMLocker(device, LockerConfig())
-        locker.protect([victim])
-    else:
-        defense = defense_factory()
-    controller = MemoryController(device, defense=defense, locker=locker)
-
-    device.vulnerability.register_template(victim, [TARGET_BIT])
-    flipped = False
-    for _ in range(3 * TRH):
-        for aggressor in device.mapper.neighbors(victim):
-            controller.hammer(aggressor)
-            if device.peek_bytes(victim, 0, 1)[0] >> TARGET_BIT & 1:
-                flipped = True
-                break
-        if flipped:
-            break
-    stats = device.stats
-    mitigation_ms = (
-        defense.mitigation_ns_total / 1e6 if defense else stats.defense_ns / 1e6
-    )
-    return {
-        "flipped": flipped,
-        "mitigation_ms": mitigation_ms,
-        "blocked": stats.blocked_requests,
-        "extra_refreshes": stats.refreshes,
-        "rowclones": stats.rowclones,
-    }
-
-
-def main() -> None:
-    contenders = [
-        ("None", lambda: NoDefense(), False),
-        ("PARA", lambda: PARA(probability=0.05), False),
-        ("TRR", lambda: TRR(table_entries=16), False),
-        ("Graphene", lambda: Graphene(table_entries=64), False),
-        ("Hydra", lambda: Hydra(group_size=16), False),
-        ("TWiCE", lambda: TWiCE(), False),
-        ("Counter/Row", lambda: CounterPerRow(), False),
-        ("CounterTree", lambda: CounterTree(split_threshold=8), False),
-        ("RRS", lambda: RRS(seed=1), False),
-        ("SRS", lambda: SRS(seed=1), False),
-        ("SHADOW", lambda: Shadow(shuffle_period=100, seed=1), False),
-        ("DRAM-Locker", None, True),
+def campaign_scenarios() -> list[Scenario]:
+    return [
+        Scenario(
+            f"campaign-{name}",
+            "defense_campaign",
+            Scale.quick(),
+            seed=0,
+            params=(("defense", name), ("trh", TRH)),
+        )
+        for name in DEFENSE_BUILDERS
     ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--workers", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    matrix = run_matrix(
+        campaign_scenarios(), workers=args.workers, tag="compare-defenses"
+    )
+    if matrix.failures:
+        for failure in matrix.failures:
+            print(f"--- {failure.name} ---\n{failure.error}")
+        return 1
+
     rows = []
-    for name, factory, use_locker in contenders:
-        outcome = run_campaign(factory, use_locker)
+    for result in matrix.results:
+        outcome = result.payload
         rows.append(
             (
-                name,
+                outcome["defense"],
                 "YES" if outcome["flipped"] else "no",
                 f"{outcome['mitigation_ms']:.3f}",
                 outcome["blocked"],
@@ -107,7 +69,12 @@ def main() -> None:
     print()
     print("Table I (hardware overhead, 32GB/16-bank DDR4):")
     print(format_table1())
+    print(
+        f"\n{len(matrix.results)} campaigns in {matrix.wall_clock_s:.2f}s "
+        f"across {matrix.workers} worker(s)"
+    )
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

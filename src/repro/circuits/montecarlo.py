@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .rowclone_cell import CellParams, RowCloneCircuit
+from .rowclone_cell import RowCloneCircuit
 
 __all__ = [
     "PAPER_ERROR_RATES",

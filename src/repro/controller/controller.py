@@ -13,26 +13,38 @@ optional protection hooks:
 The controller is where "skipped instructions cost nothing" becomes
 measurable: a blocked request consumes only the lock-table lookup
 latency and never reaches the DRAM array.
+
+Two execution paths are offered:
+
+* :meth:`MemoryController.execute` -- the scalar reference path, one
+  request per call;
+* :meth:`MemoryController.execute_batch` -- the batched engine.  Runs
+  of identical attacker activations (the hammer hot loop) and the
+  per-burst column walks of full-row reads are accounted in bulk, with
+  chunk boundaries chosen so every observable outcome -- hammer
+  counters, refresh interleaving, blocked-request skip cost,
+  unlock-SWAP ordering, ``MemoryStats`` (including energy, accumulated
+  in the scalar addition order) -- is bit-identical to calling
+  ``execute`` in a loop.  ``tests/test_batch_execution.py`` holds the
+  equivalence suite.
 """
 
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
 from ..defenses.base import Defense
 from ..dram.device import DRAMDevice
+from ..locker.lock_table import LOCK_LOOKUP_NS
 from .request import Kind, MemRequest, RequestResult, Status
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..locker.locker import DRAMLocker
 
-__all__ = ["MemoryController"]
-
-#: Latency of one lock-table SRAM lookup (45 nm, ~56KB array).
-LOCK_LOOKUP_NS = 1.2
+__all__ = ["MemoryController", "LOCK_LOOKUP_NS"]
 
 
 class MemoryController:
@@ -78,11 +90,14 @@ class MemoryController:
         )
 
     def hammer(self, row: int, count: int = 1) -> list[RequestResult]:
-        """Issue ``count`` attacker activations (ACT+PRE) of one row."""
-        return [
-            self.execute(MemRequest(Kind.ACT, row, privileged=False))
-            for _ in range(count)
-        ]
+        """Issue ``count`` attacker activations (ACT+PRE) of one row.
+
+        The activations are identical, so one request object is shared
+        across the batch; results still arrive one per activation.
+        """
+        return self.execute_batch(
+            [MemRequest(Kind.ACT, row, privileged=False)] * count
+        )
 
     def run(self, requests: Iterable[MemRequest]) -> list[RequestResult]:
         """Execute a request stream in order."""
@@ -149,18 +164,11 @@ class MemoryController:
             defense_ns += self._defense_hook(physical)
 
         if request.kind is Kind.READ:
-            for burst in range(bursts):
-                column = min(
-                    request.column + burst * 64, device.config.row_bytes - 64
-                )
-                device.read_burst(physical, column)
+            device.read_burst_run(physical, request.column, bursts)
         elif request.kind is Kind.WRITE:
-            zeros = np.zeros(64, dtype=np.uint8)
-            for burst in range(bursts):
-                column = min(
-                    request.column + burst * 64, device.config.row_bytes - 64
-                )
-                device.write_burst(physical, column, zeros)
+            device.write_burst_run(
+                physical, request.column, bursts, np.zeros(64, dtype=np.uint8)
+            )
 
         device.advance(service_ns + defense_ns)
         device.stats.busy_ns += service_ns
@@ -178,6 +186,235 @@ class MemoryController:
         )
         self._log(result)
         return result
+
+    # ------------------------------------------------------------------
+    # Batched execution
+    # ------------------------------------------------------------------
+    def execute_batch(
+        self, requests: Sequence[MemRequest]
+    ) -> list[RequestResult]:
+        """Execute a request stream in order through the batched engine.
+
+        Returns exactly what ``[self.execute(r) for r in requests]``
+        would: same results, same stats, same device and locker state.
+        Runs of identical attacker activations are accounted in bulk
+        between the chunk boundaries where state can change (a refresh
+        tick, a RowHammer threshold crossing, a pending unlock-SWAP
+        restore, a privileged access to a locked row); everything else
+        takes the scalar path.
+        """
+        if not isinstance(requests, list):
+            requests = list(requests)
+        results: list[RequestResult] = []
+        total = len(requests)
+        index = 0
+        while index < total:
+            request = requests[index]
+            if request.kind is Kind.ACT and self.defense is None:
+                end = index + 1
+                row, privileged = request.row, request.privileged
+                while end < total:
+                    peer = requests[end]
+                    if (
+                        peer.kind is not Kind.ACT
+                        or peer.row != row
+                        or peer.privileged != privileged
+                    ):
+                        break
+                    end += 1
+                if end - index > 1:
+                    self._execute_act_run(requests, index, end, results)
+                    index = end
+                    continue
+            results.append(self.execute(request))
+            index += 1
+        return results
+
+    def _execute_act_run(
+        self,
+        requests: Sequence[MemRequest],
+        start: int,
+        end: int,
+        results: list[RequestResult],
+    ) -> None:
+        """Drain ``requests[start:end]`` -- identical ACTs of one row --
+        alternating exact bulk chunks with scalar steps at every point
+        where a refresh tick, threshold crossing, or locker deadline
+        could change the outcome."""
+        device = self.device
+        timing = device.timing
+        refresh = device.refresh
+        rowhammer = device.rowhammer
+        locker = self.locker
+        trc = timing.trc
+        trh = rowhammer.trh
+        hd_factor = rowhammer.half_double_factor
+        row = requests[start].row
+        privileged = requests[start].privileged
+
+        index = start
+        while index < end:
+            if locker is not None:
+                pending_bound = locker.quiet_span()
+                if pending_bound <= 0:
+                    results.append(self.execute(requests[index]))
+                    index += 1
+                    continue
+                physical, locked, exposed = locker.classify(row)
+                if locked and not exposed:
+                    if privileged:
+                        # Unlock-SWAP path: strictly scalar, ordering is
+                        # part of the defense semantics.
+                        results.append(self.execute(requests[index]))
+                        index += 1
+                        continue
+                    count = min(end - index, pending_bound)
+                    self._bulk_blocked(requests, index, count, results)
+                    index += count
+                    continue
+                lookup_hit = locked  # exposed rows still hit the table
+                extra_ns = LOCK_LOOKUP_NS
+            else:
+                physical = row
+                pending_bound = end - index
+                lookup_hit = False
+                extra_ns = 0.0
+
+            step_ns = trc + extra_ns
+            # One-step safety margin keeps every refresh tick and every
+            # threshold crossing on the scalar path.
+            ticks_away = (
+                int((refresh.next_ref_ns - device.now_ns) / step_ns) - 1
+            )
+            counter = rowhammer.counters.get(physical, 0)
+            cross_away = trh - (counter % trh) - 1
+            if hd_factor is not None:
+                hd_threshold = int(trh * hd_factor)
+                if hd_threshold > 0:
+                    cross_away = min(
+                        cross_away, hd_threshold - (counter % hd_threshold) - 1
+                    )
+            count = min(end - index, pending_bound, ticks_away, cross_away)
+            if count <= 0:
+                results.append(self.execute(requests[index]))
+                index += 1
+                continue
+            self._bulk_acts(
+                requests, index, count, physical, lookup_hit, extra_ns, results
+            )
+            index += count
+
+    def _bulk_acts(
+        self,
+        requests: Sequence[MemRequest],
+        start: int,
+        count: int,
+        physical: int,
+        lookup_hit: bool,
+        extra_ns: float,
+        results: list[RequestResult],
+    ) -> None:
+        """Account ``count`` allowed ACT+PRE cycles of ``physical`` in
+        bulk.  The caller guarantees no refresh tick, no threshold
+        crossing, and no locker deadline falls inside the chunk, so the
+        only per-step work is the (order-preserving) accumulator walk."""
+        device = self.device
+        stats = device.stats
+        breakdown = stats.energy
+        energy = device.energy
+        locker = self.locker
+        trc = device.timing.trc
+        step_ns = trc + extra_ns
+        background_step = energy.background_nj(step_ns)
+        e_act = energy.e_act
+        e_pre = energy.e_pre
+
+        busy = stats.busy_ns
+        defense = stats.defense_ns
+        now = device.now_ns
+        act_acc = breakdown.activate
+        pre_acc = breakdown.precharge
+        background_acc = breakdown.background
+        for _ in range(count):
+            act_acc += e_act
+            pre_acc += e_pre
+            busy += trc
+            defense += extra_ns
+            now += step_ns
+            background_acc += background_step
+        breakdown.activate = act_acc
+        breakdown.precharge = pre_acc
+        breakdown.background = background_acc
+        stats.busy_ns = busy
+        stats.defense_ns = defense
+        device.now_ns = now
+        stats.activates += count
+        stats.precharges += count
+        rowhammer = device.rowhammer
+        rowhammer.counters[physical] = (
+            rowhammer.counters.get(physical, 0) + count
+        )
+        # Every scalar ACT ends with a precharge of its own bank.
+        device.banks[device.mapper.row_address(physical).bank].open_row = None
+        if locker is not None:
+            locker.charge_bulk(count, lookup_hit)
+
+        latency = trc + extra_ns
+        chunk = [
+            RequestResult(
+                requests[k],
+                Status.DONE,
+                latency_ns=latency,
+                defense_ns=extra_ns,
+                physical_row=physical,
+            )
+            for k in range(start, start + count)
+        ]
+        if self.results_log_enabled:
+            self.results.extend(chunk)
+        results.extend(chunk)
+
+    def _bulk_blocked(
+        self,
+        requests: Sequence[MemRequest],
+        start: int,
+        count: int,
+        results: list[RequestResult],
+    ) -> None:
+        """Account ``count`` blocked (locked-row, unprivileged) requests
+        in bulk.  Blocked requests touch no counters and no banks, so
+        deferring the refresh catch-up to the end of the chunk leaves
+        every observable identical to the scalar loop."""
+        device = self.device
+        stats = device.stats
+        background_step = device.energy.background_nj(LOCK_LOOKUP_NS)
+        background_acc = stats.energy.background
+        defense = stats.defense_ns
+        now = device.now_ns
+        for _ in range(count):
+            background_acc += background_step
+            defense += LOCK_LOOKUP_NS
+            now += LOCK_LOOKUP_NS
+        stats.energy.background = background_acc
+        stats.defense_ns = defense
+        device.now_ns = now
+        stats.blocked_requests += count
+        self.locker.charge_bulk_blocked(count)
+        device.refresh.tick(now)
+
+        chunk = [
+            RequestResult(
+                requests[k],
+                Status.BLOCKED,
+                latency_ns=LOCK_LOOKUP_NS,
+                defense_ns=LOCK_LOOKUP_NS,
+                physical_row=None,
+            )
+            for k in range(start, start + count)
+        ]
+        if self.results_log_enabled:
+            self.results.extend(chunk)
+        results.extend(chunk)
 
     # ------------------------------------------------------------------
     # Internals

@@ -10,7 +10,7 @@ counter-per-row storage.  Mitigation is a victim refresh.
 from __future__ import annotations
 
 from ..dram.config import DRAMConfig
-from .base import KIB, MIB, Defense, DefenseAction, OverheadReport
+from .base import MIB, Defense, DefenseAction, OverheadReport
 from .trackers import MisraGries
 
 __all__ = ["Graphene"]

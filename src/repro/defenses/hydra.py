@@ -10,7 +10,7 @@ bandwidth -- the price of ultra-low-threshold protection with tiny SRAM.
 from __future__ import annotations
 
 from ..dram.config import DRAMConfig
-from .base import KIB, MIB, Defense, DefenseAction, OverheadReport
+from .base import KIB, Defense, DefenseAction, OverheadReport
 
 __all__ = ["Hydra"]
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..dram.config import DRAMConfig
-from .base import KIB, MIB, Defense, DefenseAction, OverheadReport
+from .base import MIB, Defense, DefenseAction, OverheadReport
 from .permutation import RowPermutation
 from .trackers import MisraGries
 

@@ -10,7 +10,7 @@ and the reason the paper's Table I baselines moved to bigger trackers.
 from __future__ import annotations
 
 from ..dram.config import DRAMConfig
-from .base import KIB, Defense, DefenseAction, OverheadReport
+from .base import Defense, DefenseAction, OverheadReport
 
 __all__ = ["TRR"]
 

@@ -9,7 +9,7 @@ count crosses the mitigation threshold get their victims refreshed.
 from __future__ import annotations
 
 from ..dram.config import DRAMConfig
-from .base import KIB, MIB, Defense, DefenseAction, OverheadReport
+from .base import MIB, Defense, DefenseAction, OverheadReport
 
 __all__ = ["TWiCE"]
 

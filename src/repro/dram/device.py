@@ -5,6 +5,10 @@ The device exposes two planes:
 * a **command plane** (``activate`` / ``precharge`` / ``read_burst`` /
   ``write_burst`` / ``rowclone`` / ``advance``) that costs energy,
   advances RowHammer counters and can trigger disturbance bit-flips;
+  the batched twins ``read_burst_run`` / ``write_burst_run`` account a
+  whole run of same-row bursts in one call (used by
+  :meth:`repro.controller.MemoryController.execute_batch`) with
+  bit-identical stats;
 * a **data plane** (``peek_*`` / ``poke_*``) that reads or writes stored
   bytes with no simulated cost -- used to load initial contents (e.g.
   DNN weights) and to observe ground truth in experiments.
@@ -20,7 +24,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-from .address import AddressMapper, RowAddress
+from .address import AddressMapper
 from .config import DRAMConfig
 from .energy import DDR4_ENERGY, EnergyParams
 from .refresh import RefreshEngine
@@ -121,6 +125,60 @@ class DRAMDevice:
         self.stats.energy.write += self.energy.e_wr_burst
         self.stats.energy.io += self.energy.e_io_burst
         self.poke_bytes(row_index, column, data)
+
+    def read_burst_run(self, row_index: int, column: int, bursts: int) -> None:
+        """Serve ``bursts`` back-to-back 64-byte read bursts of one open row.
+
+        Accounting-equivalent to ``bursts`` :meth:`read_burst` calls over
+        the controller's clamped column walk (one ACT serving N column
+        reads), without materialising the per-burst copies nobody
+        consumes.  Energy is accumulated burst-by-burst so the totals are
+        bit-identical to the scalar loop.
+        """
+        cap = self.config.row_bytes - 64
+        if min(column, cap) < 0:
+            raise ValueError("byte range does not fit in the row")
+        self._require_open(row_index)
+        stats = self.stats
+        stats.reads += bursts
+        breakdown = stats.energy
+        e_rd = self.energy.e_rd_burst
+        e_io = self.energy.e_io_burst
+        read_acc = breakdown.read
+        io_acc = breakdown.io
+        for _ in range(bursts):
+            read_acc += e_rd
+            io_acc += e_io
+        breakdown.read = read_acc
+        breakdown.io = io_acc
+
+    def write_burst_run(
+        self, row_index: int, column: int, bursts: int, data: np.ndarray
+    ) -> None:
+        """Store the same 64-byte ``data`` burst at ``bursts`` consecutive
+        (clamped) column offsets of one open row -- the bulk twin of
+        :meth:`write_burst`, with bit-identical stats and stored bytes."""
+        data = np.asarray(data, dtype=np.uint8).ravel()
+        cap = self.config.row_bytes - data.size
+        if min(column, cap) < 0:
+            raise ValueError("byte range does not fit in the row")
+        self._require_open(row_index)
+        stats = self.stats
+        stats.writes += bursts
+        breakdown = stats.energy
+        e_wr = self.energy.e_wr_burst
+        e_io = self.energy.e_io_burst
+        write_acc = breakdown.write
+        io_acc = breakdown.io
+        for _ in range(bursts):
+            write_acc += e_wr
+            io_acc += e_io
+        breakdown.write = write_acc
+        breakdown.io = io_acc
+        row = self.peek_row(row_index, copy=False)
+        for burst in range(bursts):
+            start = min(column + burst * 64, cap)
+            row[start : start + data.size] = data
 
     def rowclone(self, src_index: int, dst_index: int) -> list[BitFlip]:
         """Intra-subarray RowClone FPM copy (ACT src, ACT dst, PRE).

@@ -7,6 +7,8 @@ Usage::
     python -m repro.eval fig7b
     python -m repro.eval fig8 --arch resnet20 --full
     python -m repro.eval all            # everything cheap (no training)
+    python -m repro.eval matrix --set smoke --out artifacts
+                                        # parallel scenario harness
 """
 
 from __future__ import annotations
@@ -90,8 +92,17 @@ def _print_fig7b() -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "matrix":
+        # Delegate to the parallel scenario harness CLI.
+        from .harness import main as harness_main
+
+        return harness_main(argv[1:])
     parser = argparse.ArgumentParser(prog="python -m repro.eval")
-    parser.add_argument("experiment", help="which table/figure (or 'list'/'all')")
+    parser.add_argument(
+        "experiment", help="which table/figure (or 'list'/'all'/'matrix')"
+    )
     parser.add_argument("--arch", default="resnet20", choices=["resnet20", "vgg11"])
     parser.add_argument("--full", action="store_true", help="near-paper scale")
     args = parser.parse_args(argv)

@@ -8,11 +8,11 @@ the benchmark suite, ``Scale.full()`` approaches the paper's settings.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 import numpy as np
 
-from ..attacks.bfa import BFAConfig, BFAResult, ProgressiveBitSearch
+from ..attacks.bfa import BFAConfig, ProgressiveBitSearch
 from ..attacks.hammer import HammerDriver
 from ..attacks.pta import PagedWeights, PageTableAttack
 from ..attacks.random_attack import RandomAttack
@@ -25,7 +25,7 @@ from ..dram.timing import trh_table
 from ..dram.vulnerability import VulnerabilityMap
 from ..isa import Opcode, assemble, disassemble, swap_program
 from ..locker.locker import DRAMLocker, LockerConfig
-from ..locker.planner import LockMode
+from ..locker.planner import LockMode, plan_protection
 from ..nn.data import Dataset, synthetic_cifar10, synthetic_cifar100
 from ..nn.hardening import TABLE2_BUILDERS, HardenedModel
 from ..nn.models import resnet20, vgg11
@@ -52,6 +52,9 @@ __all__ = [
     "run_pta",
     "run_table2",
     "run_rowclone_savings",
+    "run_radius_ablation",
+    "run_layout_ablation",
+    "run_relock_ablation",
 ]
 
 #: The paper's Fig. 7/8 worst case and the +/-20 % swap failure rate.
@@ -458,6 +461,96 @@ def run_table2(
         }
     )
     return {"dataset": dataset.name, "rows": rows, "chance": 10.0}
+
+
+# ----------------------------------------------------------------------
+# Ablations of DRAM-Locker's design choices (DESIGN.md section 6)
+# ----------------------------------------------------------------------
+def _ablation_device(
+    trh: int = 100, half_double: float | None = None
+) -> DRAMDevice:
+    config = DRAMConfig.small()
+    return DRAMDevice(
+        config,
+        vulnerability=VulnerabilityMap(config, weak_cell_fraction=0.0),
+        trh=trh,
+        half_double_factor=half_double,
+    )
+
+
+def _half_double_attack(device, controller, victim: int, bit: int) -> bool:
+    """Hammer at distance 2 (Half-Double) until the bit flips or the
+    budget runs out."""
+    device.vulnerability.register_template(victim, [bit])
+    aggressors = [
+        row
+        for row in device.mapper.neighbors(victim, radius=2)
+        if row not in device.mapper.neighbors(victim, radius=1)
+    ]
+    budget = device.timing.trh * 6
+    for _ in range(budget // max(1, len(aggressors))):
+        for aggressor in aggressors:
+            controller.hammer(aggressor)
+            byte = device.peek_bytes(victim, bit // 8, 1)[0]
+            if byte >> (bit % 8) & 1:
+                return True
+    return False
+
+
+def run_radius_ablation() -> dict[int, bool]:
+    """Lock radius 1 vs 2 against the distance-2 Half-Double pattern."""
+    outcomes = {}
+    for radius in (1, 2):
+        device = _ablation_device(half_double=2.0)
+        locker = DRAMLocker(device, LockerConfig())
+        controller = MemoryController(device, locker=locker)
+        victim = device.mapper.row_index((0, 0, 20))
+        locker.protect([victim], radius=radius)
+        outcomes[radius] = _half_double_attack(device, controller, victim, 3)
+    return outcomes
+
+
+def run_layout_ablation() -> dict[bool, dict]:
+    """Guard-row vs contiguous weight layout: protection-plan coverage."""
+    qmodel = QuantizedModel(
+        resnet20(num_classes=4, width=4, input_hw=8, seed=0)
+    )
+    coverage = {}
+    for guard in (True, False):
+        device = _ablation_device()
+        store = WeightStore(device, qmodel, guard_rows=guard)
+        plan = plan_protection(
+            device.mapper, store.data_rows, mode=LockMode.ADJACENT
+        )
+        coverage[guard] = {
+            "data_rows": len(store.data_rows),
+            "locked_rows": len(plan.locked_rows),
+            "uncovered_victims": len(plan.uncovered_victims),
+            "complete": plan.is_complete,
+        }
+    return coverage
+
+
+def run_relock_ablation(
+    intervals: tuple[int, ...] = (50, 200, 800), seed: int = 0
+) -> dict[int, dict]:
+    """Re-lock interval vs unlock/restore SWAP traffic under tenant load."""
+    results = {}
+    for interval in intervals:
+        device = _ablation_device()
+        locker = DRAMLocker(device, LockerConfig(relock_interval=interval))
+        controller = MemoryController(device, locker=locker)
+        locker.lock_rows([21])
+        rng = np.random.default_rng(seed)
+        for _ in range(2000):
+            row = int(rng.choice([21, 30, 40]))
+            controller.read(row, privileged=True)
+        results[interval] = {
+            "unlock_swaps": locker.unlock_swaps,
+            "restores": locker.restores,
+            "defense_ns": device.stats.defense_ns,
+        }
+    return results
 
 
 # ----------------------------------------------------------------------

@@ -80,9 +80,8 @@ class CrossLayerPipeline:
         dataset, qmodel = build_victim(self.arch, self.scale)
         clean = qmodel.model.accuracy(dataset.test_x, dataset.test_y)
         system = build_system(qmodel, protected=self.protected)
-        # One inference worth of weight streaming.
-        for request in system.store.inference_requests():
-            system.controller.execute(request)
+        # One inference worth of weight streaming, through the batch engine.
+        system.store.stream_inference(system.controller)
         hook = _background_tenant_hook(system) if self.protected else None
         attack = ProgressiveBitSearch(
             qmodel,

@@ -1,0 +1,571 @@
+"""Parallel scenario harness: the defense x attack x model x scale matrix.
+
+Every figure/table runner used to be a hand-rolled serial script.  This
+module turns them into declarative :class:`Scenario` specs -- a named
+(runner, arch, scale, seed, params) point of the evaluation matrix --
+and a :func:`run_matrix` executor that fans scenarios out over
+``multiprocessing`` workers with deterministic per-scenario seeds and
+writes one ``BENCH_<tag>.json`` artifact capturing accuracy curves,
+memory stats, and wall-clock per scenario.
+
+Properties the test suite pins down (``tests/test_harness.py``):
+
+* **Determinism** -- the artifact's ``results`` section is a pure
+  function of the scenario list and ``base_seed``; re-running, or
+  changing the worker count, changes only the ``timing`` section.
+* **Seed derivation** -- a scenario without an explicit seed gets
+  ``derive_seed(name, base_seed)``, a stable CRC-based value, so adding
+  or reordering scenarios never shifts another scenario's seed.
+
+Command line::
+
+    python -m repro.eval.harness --set smoke --out artifacts
+    python -m repro.eval.harness --set quick --workers 4 --tag nightly
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import re
+import time
+import traceback
+import zlib
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Callable, Iterable, Sequence
+
+from ..controller.controller import MemoryController
+from ..defenses import (
+    PARA,
+    RRS,
+    SRS,
+    TRR,
+    CounterPerRow,
+    CounterTree,
+    Graphene,
+    Hydra,
+    NoDefense,
+    Shadow,
+    TWiCE,
+)
+from ..dram.config import DRAMConfig
+from ..dram.device import DRAMDevice
+from ..dram.vulnerability import VulnerabilityMap
+from ..locker.locker import DRAMLocker, LockerConfig
+from .experiments import (
+    Scale,
+    run_fig1a,
+    run_fig1b,
+    run_fig5,
+    run_fig7a,
+    run_fig7b,
+    run_fig8,
+    run_layout_ablation,
+    run_pta,
+    run_radius_ablation,
+    run_relock_ablation,
+    run_rowclone_savings,
+    run_sec4d_montecarlo,
+    run_table1,
+    run_table2,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioResult",
+    "MatrixResult",
+    "derive_seed",
+    "run_scenario",
+    "run_matrix",
+    "cheap_scenarios",
+    "smoke_scenarios",
+    "quick_scenarios",
+    "SCENARIO_RUNNERS",
+    "DEFENSE_BUILDERS",
+]
+
+
+# ----------------------------------------------------------------------
+# Scenario specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """One point of the defense x attack x model x scale x seed matrix.
+
+    Attributes:
+        name: Unique label inside a matrix; also the artifact key and
+            the seed-derivation input.
+        runner: Key into :data:`SCENARIO_RUNNERS`.
+        scale: Fidelity/runtime knobs forwarded to the runner.
+        seed: Explicit seed; ``None`` derives one from the name.
+        params: Extra runner keyword arguments as a sorted tuple of
+            ``(key, value)`` pairs (tuples keep the spec hashable and
+            cheap to pickle across workers).
+    """
+
+    name: str
+    runner: str
+    scale: Scale = field(default_factory=Scale.quick)
+    seed: int | None = None
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def resolved_seed(self, base_seed: int = 0) -> int:
+        if self.seed is not None:
+            return self.seed
+        return derive_seed(self.name, base_seed)
+
+    def kwargs(self) -> dict[str, Any]:
+        return dict(self.params)
+
+
+def derive_seed(name: str, base_seed: int = 0) -> int:
+    """Stable per-scenario seed: independent of list order and of every
+    other scenario, so matrices stay reproducible as they grow."""
+    return (zlib.crc32(name.encode("utf-8")) ^ (base_seed * 0x9E3779B1)) & 0x7FFFFFFF
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario execution."""
+
+    name: str
+    runner: str
+    seed: int
+    wall_clock_s: float
+    payload: dict | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class MatrixResult:
+    """All scenario results plus the matrix-level timing."""
+
+    tag: str
+    base_seed: int
+    workers: int
+    wall_clock_s: float
+    results: list[ScenarioResult]
+    scenarios: list[Scenario]
+    artifact_path: str | None = None
+
+    def __getitem__(self, name: str) -> ScenarioResult:
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise KeyError(name)
+
+    @property
+    def failures(self) -> list[ScenarioResult]:
+        return [result for result in self.results if not result.ok]
+
+    def as_artifact(self) -> dict:
+        """The ``BENCH_*.json`` document.  Everything except ``timing``
+        is a deterministic function of (scenarios, base_seed)."""
+        return {
+            "schema": "dram-locker-bench/1",
+            "tag": self.tag,
+            "base_seed": self.base_seed,
+            "scenarios": [
+                {
+                    "name": scenario.name,
+                    "runner": scenario.runner,
+                    "seed": scenario.resolved_seed(self.base_seed),
+                    "scale": asdict(scenario.scale),
+                    "params": scenario.kwargs(),
+                }
+                for scenario in self.scenarios
+            ],
+            "results": {
+                result.name: (
+                    result.payload if result.ok else {"error": result.error}
+                )
+                for result in self.results
+            },
+            "timing": {
+                "workers": self.workers,
+                "total_s": self.wall_clock_s,
+                "per_scenario_s": {
+                    result.name: result.wall_clock_s
+                    for result in self.results
+                },
+            },
+        }
+
+    def write_artifact(self, directory: str) -> str:
+        if not _TAG_RE.fullmatch(self.tag):
+            raise ValueError(
+                f"artifact tag {self.tag!r} must match {_TAG_RE.pattern}"
+                " (it becomes part of the BENCH_<tag>.json filename)"
+            )
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"BENCH_{self.tag}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                self.as_artifact(),
+                handle,
+                indent=2,
+                sort_keys=True,
+                default=_json_fallback,
+            )
+            handle.write("\n")
+        self.artifact_path = path
+        return path
+
+
+#: Tags become BENCH_<tag>.json filenames; keep them path-safe.
+_TAG_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]*")
+
+
+def _json_fallback(value: Any) -> Any:
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()  # numpy scalars
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# Runner registry
+# ----------------------------------------------------------------------
+def _seeded(scale: Scale, seed: int) -> Scale:
+    return replace(scale, seed=seed)
+
+
+def _run_fig8(scale: Scale, seed: int, arch: str = "resnet20") -> dict:
+    return run_fig8(arch=arch, scale=_seeded(scale, seed))
+
+
+def _run_fig1a(scale: Scale, seed: int) -> dict:
+    return run_fig1a(_seeded(scale, seed))
+
+
+def _run_pta(scale: Scale, seed: int) -> dict:
+    return run_pta(_seeded(scale, seed))
+
+
+def _run_table2(scale: Scale, seed: int, **params) -> dict:
+    return run_table2(_seeded(scale, seed), **params)
+
+
+def _run_sec4d(scale: Scale, seed: int, trials: int = 10_000) -> dict:
+    return {"rows": run_sec4d_montecarlo(trials=trials)}
+
+
+def _run_relock_ablation(scale: Scale, seed: int, **params) -> dict:
+    results = run_relock_ablation(seed=seed, **params)
+    return {str(interval): stats for interval, stats in results.items()}
+
+
+def _run_radius_ablation(scale: Scale, seed: int) -> dict:
+    return {str(radius): out for radius, out in run_radius_ablation().items()}
+
+
+def _run_layout_ablation(scale: Scale, seed: int) -> dict:
+    return {
+        ("guard-rows" if guard else "contiguous"): stats
+        for guard, stats in run_layout_ablation().items()
+    }
+
+
+#: Baseline-defense factories for :func:`_run_defense_campaign`, shared
+#: with ``examples/compare_defenses.py``.
+DEFENSE_BUILDERS: dict[str, Callable[[], Any] | None] = {
+    "None": lambda: NoDefense(),
+    "PARA": lambda: PARA(probability=0.05),
+    "TRR": lambda: TRR(table_entries=16),
+    "Graphene": lambda: Graphene(table_entries=64),
+    "Hydra": lambda: Hydra(group_size=16),
+    "TWiCE": lambda: TWiCE(),
+    "Counter/Row": lambda: CounterPerRow(),
+    "CounterTree": lambda: CounterTree(split_threshold=8),
+    "RRS": lambda: RRS(seed=1),
+    "SRS": lambda: SRS(seed=1),
+    "SHADOW": lambda: Shadow(shuffle_period=100, seed=1),
+    "DRAM-Locker": None,  # handled via the locker, not a Defense
+}
+
+
+def _run_defense_campaign(
+    scale: Scale,
+    seed: int,
+    defense: str = "None",
+    trh: int = 400,
+    victim_local: int = 20,
+    target_bit: int = 5,
+) -> dict:
+    """Double-sided hammering of one templated bit under one defense --
+    the per-contender unit of ``examples/compare_defenses.py``."""
+    config = DRAMConfig.small()
+    vulnerability = VulnerabilityMap(config, weak_cell_fraction=0.0)
+    device = DRAMDevice(config, vulnerability=vulnerability, trh=trh)
+    victim = device.mapper.row_index((0, 0, victim_local))
+    use_locker = defense == "DRAM-Locker"
+    locker = None
+    baseline = None
+    if use_locker:
+        locker = DRAMLocker(device, LockerConfig())
+        locker.protect([victim])
+    else:
+        builder = DEFENSE_BUILDERS.get(defense)
+        if builder is None:
+            raise ValueError(f"unknown defense {defense!r}")
+        baseline = builder()
+    controller = MemoryController(device, defense=baseline, locker=locker)
+
+    device.vulnerability.register_template(victim, [target_bit])
+    flipped = False
+    for _ in range(3 * trh):
+        for aggressor in device.mapper.neighbors(victim):
+            controller.hammer(aggressor)
+            if device.peek_bytes(victim, 0, 1)[0] >> target_bit & 1:
+                flipped = True
+                break
+        if flipped:
+            break
+    stats = device.stats
+    mitigation_ms = (
+        baseline.mitigation_ns_total / 1e6
+        if baseline is not None
+        else stats.defense_ns / 1e6
+    )
+    return {
+        "defense": defense,
+        "flipped": flipped,
+        "mitigation_ms": mitigation_ms,
+        "blocked": stats.blocked_requests,
+        "extra_refreshes": stats.refreshes,
+        "rowclones": stats.rowclones,
+        "memory_stats": stats.as_dict(),
+    }
+
+
+SCENARIO_RUNNERS: dict[str, Callable[..., dict]] = {
+    "fig1a": _run_fig1a,
+    "fig1b": lambda scale, seed: {"rows": run_fig1b()},
+    "fig5": lambda scale, seed: run_fig5(),
+    "sec4d": _run_sec4d,
+    "table1": lambda scale, seed: run_table1(),
+    "fig7a": lambda scale, seed: run_fig7a(),
+    "fig7b": lambda scale, seed: run_fig7b(),
+    "fig8": _run_fig8,
+    "pta": _run_pta,
+    "table2": _run_table2,
+    "rowclone": lambda scale, seed: run_rowclone_savings(),
+    "ablation_radius": _run_radius_ablation,
+    "ablation_layout": _run_layout_ablation,
+    "ablation_relock": _run_relock_ablation,
+    "defense_campaign": _run_defense_campaign,
+}
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def run_scenario(scenario: Scenario, base_seed: int = 0) -> ScenarioResult:
+    """Execute one scenario in-process."""
+    seed = scenario.resolved_seed(base_seed)
+    runner = SCENARIO_RUNNERS.get(scenario.runner)
+    started = time.perf_counter()
+    if runner is None:
+        return ScenarioResult(
+            scenario.name,
+            scenario.runner,
+            seed,
+            0.0,
+            error=f"unknown runner {scenario.runner!r}",
+        )
+    try:
+        payload = runner(scenario.scale, seed, **scenario.kwargs())
+    except Exception:  # noqa: BLE001 - workers must report, not die
+        return ScenarioResult(
+            scenario.name,
+            scenario.runner,
+            seed,
+            time.perf_counter() - started,
+            error=traceback.format_exc(),
+        )
+    return ScenarioResult(
+        scenario.name,
+        scenario.runner,
+        seed,
+        time.perf_counter() - started,
+        payload=payload,
+    )
+
+
+def _scenario_worker(job: tuple[Scenario, int]) -> ScenarioResult:
+    scenario, base_seed = job
+    return run_scenario(scenario, base_seed)
+
+
+def run_matrix(
+    scenarios: Sequence[Scenario] | Iterable[Scenario],
+    workers: int | None = None,
+    base_seed: int = 0,
+    tag: str = "matrix",
+    artifact_dir: str | None = None,
+) -> MatrixResult:
+    """Run a scenario matrix, optionally in parallel, and collect one
+    :class:`MatrixResult`.
+
+    ``workers=None`` picks ``min(len(scenarios), cpu_count)``;
+    ``workers<=1`` runs serially in-process (no subprocesses, handy for
+    tests and for composing with an outer parallel harness).  Results
+    are returned in scenario order regardless of completion order, and
+    the ``results`` payloads are independent of the worker count.
+    """
+    scenarios = list(scenarios)
+    names = [scenario.name for scenario in scenarios]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate scenario names in matrix: {names}")
+    if workers is None:
+        workers = max(1, min(len(scenarios), os.cpu_count() or 1))
+    started = time.perf_counter()
+    if workers <= 1 or len(scenarios) <= 1:
+        workers = 1
+        results = [run_scenario(scenario, base_seed) for scenario in scenarios]
+    else:
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        jobs = [(scenario, base_seed) for scenario in scenarios]
+        with context.Pool(processes=workers) as pool:
+            results = pool.map(_scenario_worker, jobs)
+    matrix = MatrixResult(
+        tag=tag,
+        base_seed=base_seed,
+        workers=workers,
+        wall_clock_s=time.perf_counter() - started,
+        results=results,
+        scenarios=scenarios,
+    )
+    if artifact_dir is not None:
+        matrix.write_artifact(artifact_dir)
+    return matrix
+
+
+# ----------------------------------------------------------------------
+# Canned scenario sets
+# ----------------------------------------------------------------------
+def cheap_scenarios(scale: Scale | None = None) -> list[Scenario]:
+    """Everything that runs without training a victim model."""
+    scale = scale or Scale.quick()
+    return [
+        Scenario("fig1b-trh", "fig1b", scale),
+        Scenario("fig5-isa", "fig5", scale),
+        Scenario("sec4d-montecarlo", "sec4d", scale, seed=0,
+                 params=(("trials", 4000),)),
+        Scenario("table1-overhead", "table1", scale),
+        Scenario("fig7a-latency", "fig7a", scale),
+        Scenario("fig7b-defense-days", "fig7b", scale),
+        Scenario("rowclone-savings", "rowclone", scale),
+        Scenario("ablation-radius", "ablation_radius", scale),
+        Scenario("ablation-layout", "ablation_layout", scale),
+        Scenario("ablation-relock", "ablation_relock", scale, seed=0),
+    ]
+
+
+def smoke_scenarios(scale: Scale | None = None) -> list[Scenario]:
+    """The CI smoke matrix: every cheap scenario plus one trained-victim
+    end-to-end (Fig. 8, ResNet-20) and the defense-campaign sweep."""
+    scale = scale or Scale.quick()
+    defenses = ("None", "PARA", "Graphene", "DRAM-Locker")
+    return (
+        cheap_scenarios(scale)
+        + [
+            Scenario(
+                f"campaign-{name}", "defense_campaign", scale, seed=0,
+                params=(("defense", name),),
+            )
+            for name in defenses
+        ]
+        + [
+            Scenario("fig8-resnet20", "fig8", scale, seed=0,
+                     params=(("arch", "resnet20"),)),
+        ]
+    )
+
+
+def quick_scenarios(scale: Scale | None = None) -> list[Scenario]:
+    """The full quick-scale reproduction matrix (all trained victims)."""
+    scale = scale or Scale.quick()
+    return smoke_scenarios(scale) + [
+        Scenario("fig8-vgg11", "fig8", scale, seed=0,
+                 params=(("arch", "vgg11"),)),
+        Scenario("fig1a-bfa-vs-random", "fig1a", scale, seed=0),
+        Scenario("pta-page-table", "pta", scale, seed=0),
+        Scenario("table2-software-defenses", "table2", scale, seed=0,
+                 params=(("flip_budget", 30),)),
+    ]
+
+
+_SCENARIO_SETS = {
+    "cheap": cheap_scenarios,
+    "smoke": smoke_scenarios,
+    "quick": quick_scenarios,
+}
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.eval.harness")
+    parser.add_argument(
+        "--set", dest="scenario_set", default="smoke",
+        choices=sorted(_SCENARIO_SETS),
+        help="which canned scenario matrix to run",
+    )
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--base-seed", type=int, default=0)
+    parser.add_argument("--tag", default=None)
+    parser.add_argument("--out", default=None, help="artifact directory")
+    parser.add_argument(
+        "--full", action="store_true", help="near-paper scale"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    args = parser.parse_args(argv)
+
+    scale = Scale.full() if args.full else Scale.quick()
+    scenarios = _SCENARIO_SETS[args.scenario_set](scale)
+    if args.list:
+        for scenario in scenarios:
+            print(
+                f"{scenario.name:32s} runner={scenario.runner:18s} "
+                f"seed={scenario.resolved_seed(args.base_seed)}"
+            )
+        return 0
+
+    tag = args.tag or args.scenario_set
+    matrix = run_matrix(
+        scenarios,
+        workers=args.workers,
+        base_seed=args.base_seed,
+        tag=tag,
+        artifact_dir=args.out,
+    )
+    for result in matrix.results:
+        status = "ok" if result.ok else "FAILED"
+        print(f"{result.name:32s} {status:7s} {result.wall_clock_s:8.2f}s")
+    print(
+        f"total {matrix.wall_clock_s:.2f}s across {matrix.workers} worker(s)"
+    )
+    if matrix.artifact_path:
+        print(f"artifact: {matrix.artifact_path}")
+    if matrix.failures:
+        for failure in matrix.failures:
+            print(f"\n--- {failure.name} ---\n{failure.error}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,7 @@ and the row-indirection bookkeeping into the controller-facing object:
 from __future__ import annotations
 
 import heapq
+import sys
 from dataclasses import dataclass, field
 from enum import Enum
 from itertools import count
@@ -30,14 +31,11 @@ from ..controller.request import MemRequest
 from ..defenses.base import OverheadReport
 from ..dram.config import DRAMConfig
 from ..dram.device import DRAMDevice
-from .lock_table import LockTable
+from .lock_table import LOCK_LOOKUP_NS, LockTable
 from .planner import LockMode, ProtectionPlan, plan_protection
 from .swap import SwapEngine
 
 __all__ = ["LockerConfig", "AccessDecision", "DRAMLocker", "LOCK_LOOKUP_NS"]
-
-#: Latency of one lock-table SRAM lookup (45 nm, ~56 KB array).
-LOCK_LOOKUP_NS = 1.2
 
 
 @dataclass(frozen=True)
@@ -176,6 +174,41 @@ class DRAMLocker:
             )
 
         return self._unlock_via_swap(request.row, physical, extra_ns)
+
+    # ------------------------------------------------------------------
+    # Batch request path (called by MemoryController.execute_batch)
+    # ------------------------------------------------------------------
+    def quiet_span(self) -> int:
+        """Requests the batch engine may process before the next pending
+        restore / re-secure deadline fires (and hence before any lock,
+        exposure, or row-indirection state can change under it)."""
+        if not self._pending:
+            return sys.maxsize
+        return max(0, self._pending[0].due - self.rw_instructions - 1)
+
+    def classify(self, logical_row: int) -> tuple[int, bool, bool]:
+        """Non-mutating, uncounted preview of :meth:`on_request`'s verdict:
+        ``(physical_row, locked, exposed)``."""
+        physical = self.translate(logical_row)
+        return physical, physical in self.table, physical in self.exposed
+
+    def charge_bulk(self, count: int, hit: bool) -> None:
+        """Account ``count`` allowed lookups the way ``count`` scalar
+        :meth:`on_request` calls would (same accumulators, same order)."""
+        self.rw_instructions += count
+        stats = self.device.stats
+        stats.lock_lookups += count
+        e_lock = self.device.energy.e_lock_lookup
+        acc = stats.energy.lock_table
+        for _ in range(count):
+            acc += e_lock
+        stats.energy.lock_table = acc
+        self.table.charge_lookups(count, count if hit else 0)
+
+    def charge_bulk_blocked(self, count: int) -> None:
+        """Account ``count`` blocked (locked-row, unprivileged) lookups."""
+        self.charge_bulk(count, hit=True)
+        self.blocked_requests += count
 
     # ------------------------------------------------------------------
     # Unlock / re-lock machinery

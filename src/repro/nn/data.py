@@ -11,7 +11,7 @@ all the bit-flip experiments require (see DESIGN.md, Substitutions).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np

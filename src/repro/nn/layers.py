@@ -14,7 +14,7 @@ from typing import Callable
 
 import numpy as np
 
-from .functional import col2im, conv_output_hw, im2col
+from .functional import col2im, contract, conv_output_hw, im2col
 
 __all__ = [
     "Parameter",
@@ -113,7 +113,7 @@ class Conv2d(Layer):
         oh, ow = conv_output_hw(h, w, self.kernel, self.stride, self.pad)
         cols = im2col(x, self.kernel, self.stride, self.pad)
         weight = self.effective_weight()
-        out = np.einsum("of,nfp->nop", weight, cols, optimize=True)
+        out = contract("of,nfp->nop", weight, cols)
         if self.bias is not None:
             out += self.bias.value[None, :, None]
         self._cache = (x.shape, cols)
@@ -125,16 +125,14 @@ class Conv2d(Layer):
         assert self._cache is not None, "forward before backward"
         x_shape, cols = self._cache
         n = dy.shape[0]
-        dy_flat = dy.reshape(n, self.out_channels, -1)
+        dy_flat = np.ascontiguousarray(dy.reshape(n, self.out_channels, -1))
         # STE: the gradient w.r.t. the raw weight equals the gradient
         # w.r.t. the transformed weight.
-        self.weight.grad += np.einsum(
-            "nop,nfp->of", dy_flat, cols, optimize=True
-        )
+        self.weight.grad += contract("nop,nfp->of", dy_flat, cols)
         if self.bias is not None:
             self.bias.grad += dy_flat.sum(axis=(0, 2))
         weight = self.effective_weight()
-        dcols = np.einsum("of,nop->nfp", weight, dy_flat, optimize=True)
+        dcols = contract("of,nop->nfp", weight, dy_flat)
         return col2im(dcols, x_shape, self.kernel, self.stride, self.pad)
 
 

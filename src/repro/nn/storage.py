@@ -19,8 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-import numpy as np
-
 from ..controller.request import Kind, MemRequest
 from ..dram.device import DRAMDevice
 from ..dram.rowhammer import BitFlip
@@ -216,3 +214,8 @@ class WeightStore:
             )
             for row in self.data_rows
         ]
+
+    def stream_inference(self, controller, privileged: bool = True):
+        """Execute one forward pass worth of weight streaming through the
+        controller's batched engine; returns the per-request results."""
+        return controller.execute_batch(self.inference_requests(privileged))

@@ -1,0 +1,182 @@
+"""Batch-vs-scalar equivalence: the batched engine's contract.
+
+``MemoryController.execute_batch`` must be observationally identical to
+calling ``execute`` in a loop on the same request stream: same
+``RequestResult`` fields, same ``MemoryStats`` (bit-for-bit, including
+the float energy accumulators), same RowHammer counters, same locker
+bookkeeping, same stored bytes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.controller import Kind, MemRequest, MemoryController
+from repro.dram import DRAMConfig, DRAMDevice, VulnerabilityMap
+from repro.locker import DRAMLocker, LockerConfig
+
+
+def build_system(
+    protected: bool,
+    trh: int = 100,
+    half_double: float | None = None,
+    relock_interval: int = 150,
+):
+    config = DRAMConfig.tiny()
+    vulnerability = VulnerabilityMap(config, seed=3, weak_cell_fraction=1e-4)
+    device = DRAMDevice(
+        config,
+        vulnerability=vulnerability,
+        trh=trh,
+        half_double_factor=half_double,
+    )
+    locker = None
+    if protected:
+        locker = DRAMLocker(
+            device,
+            LockerConfig(
+                copy_error_rate=0.05,
+                relock_interval=relock_interval,
+                seed=7,
+            ),
+        )
+        locker.lock_rows([9, 11, 21])
+    controller = MemoryController(device, locker=locker)
+    device.vulnerability.register_template(10, [3])
+    return device, controller, locker
+
+
+def adversarial_stream() -> list[MemRequest]:
+    """Inference reads, hammering of locked and free rows, unlock-SWAPs,
+    writes -- every path the batch engine special-cases, interleaved."""
+    requests = []
+    for row in range(30, 40):
+        requests.append(
+            MemRequest(Kind.READ, row, size=512, privileged=True, tag="w")
+        )
+    for _ in range(3):
+        for aggressor in (9, 11):
+            requests += [
+                MemRequest(Kind.ACT, aggressor) for _ in range(130)
+            ]
+        requests.append(MemRequest(Kind.READ, 21, privileged=True))
+        requests += [MemRequest(Kind.ACT, 21) for _ in range(60)]
+        requests.append(MemRequest(Kind.WRITE, 33, size=256, privileged=True))
+        requests += [MemRequest(Kind.ACT, 50) for _ in range(250)]
+    return requests
+
+
+def assert_results_equal(scalar_results, batch_results):
+    assert len(scalar_results) == len(batch_results)
+    for scalar, batch in zip(scalar_results, batch_results):
+        assert scalar.status is batch.status
+        assert scalar.latency_ns == batch.latency_ns
+        assert scalar.defense_ns == batch.defense_ns
+        assert scalar.physical_row == batch.physical_row
+        assert scalar.row_hit == batch.row_hit
+        assert scalar.swapped == batch.swapped
+        assert [(f.row, f.bit, f.time_ns) for f in scalar.flips] == [
+            (f.row, f.bit, f.time_ns) for f in batch.flips
+        ]
+
+
+@pytest.mark.parametrize("protected", [False, True])
+@pytest.mark.parametrize("half_double", [None, 2.5])
+def test_batch_equals_scalar(protected, half_double):
+    requests = adversarial_stream()
+
+    device_a, controller_a, locker_a = build_system(protected, half_double=half_double)
+    scalar_results = [controller_a.execute(r) for r in requests]
+
+    device_b, controller_b, locker_b = build_system(protected, half_double=half_double)
+    batch_results = controller_b.execute_batch(requests)
+
+    assert_results_equal(scalar_results, batch_results)
+    # Stats identical bit-for-bit, floats included.
+    assert device_a.stats.as_dict() == device_b.stats.as_dict()
+    assert device_a.now_ns == device_b.now_ns
+    assert device_a.rowhammer.counters == device_b.rowhammer.counters
+    assert device_a.refresh.cursor == device_b.refresh.cursor
+    assert device_a.refresh.next_ref_ns == device_b.refresh.next_ref_ns
+    for row in (9, 10, 11, 21, 33, 50):
+        assert np.array_equal(device_a.peek_row(row), device_b.peek_row(row))
+    if protected:
+        assert locker_a.table.snapshot() == locker_b.table.snapshot()
+        assert locker_a.table.lookups == locker_b.table.lookups
+        assert locker_a.table.hits == locker_b.table.hits
+        assert locker_a.rw_instructions == locker_b.rw_instructions
+        assert locker_a.blocked_requests == locker_b.blocked_requests
+        assert locker_a.unlock_swaps == locker_b.unlock_swaps
+        assert locker_a.failed_unlock_swaps == locker_b.failed_unlock_swaps
+        assert locker_a.restores == locker_b.restores
+        assert locker_a.failed_restores == locker_b.failed_restores
+        assert locker_a.exposed == locker_b.exposed
+
+
+def test_hammer_uses_batch_engine_and_matches_scalar():
+    device_a, controller_a, _ = build_system(protected=True)
+    scalar = [
+        controller_a.execute(MemRequest(Kind.ACT, 9, privileged=False))
+        for _ in range(500)
+    ]
+    device_b, controller_b, _ = build_system(protected=True)
+    batched = controller_b.hammer(9, count=500)
+    assert_results_equal(scalar, batched)
+    assert device_a.stats.as_dict() == device_b.stats.as_dict()
+
+
+def test_batch_crosses_thresholds_like_scalar():
+    """Flips triggered mid-batch land on the same request index."""
+    device_a, controller_a, _ = build_system(protected=False, trh=50)
+    scalar = [
+        controller_a.execute(MemRequest(Kind.ACT, 9, privileged=False))
+        for _ in range(120)
+    ]
+    device_b, controller_b, _ = build_system(protected=False, trh=50)
+    batched = controller_b.hammer(9, count=120)
+    scalar_flips = [i for i, r in enumerate(scalar) if r.flips]
+    batched_flips = [i for i, r in enumerate(batched) if r.flips]
+    # The template on row 10 flips exactly at the threshold crossing...
+    assert 49 in batched_flips
+    # ...and every crossing lands on the same request index as scalar.
+    assert scalar_flips == batched_flips
+    assert device_b.rowhammer.activation_count(9) == 120
+    assert device_a.stats.as_dict() == device_b.stats.as_dict()
+
+
+def test_blocked_run_skips_array_and_charges_lookup_only():
+    device, controller, locker = build_system(protected=True)
+    results = controller.hammer(9, count=200)
+    assert all(r.blocked for r in results)
+    assert device.stats.activates == 0
+    assert locker.blocked_requests == 200
+    assert device.stats.blocked_requests == 200
+
+
+def test_results_log_preserved_by_batch():
+    _, controller, _ = build_system(protected=True)
+    controller.results_log_enabled = True
+    stream = [MemRequest(Kind.ACT, 9) for _ in range(10)]
+    stream += [MemRequest(Kind.READ, 30, privileged=True)]
+    results = controller.execute_batch(stream)
+    assert controller.results == results
+
+
+def test_read_write_burst_runs_match_scalar_loops():
+    config = DRAMConfig.tiny()
+    vulnerability = VulnerabilityMap(config, weak_cell_fraction=0.0)
+
+    device_a = DRAMDevice(config, vulnerability=vulnerability, trh=500)
+    controller_a = MemoryController(device_a)
+    device_b = DRAMDevice(config, vulnerability=vulnerability, trh=500)
+    controller_b = MemoryController(device_b)
+
+    stream = [
+        MemRequest(Kind.WRITE, 5, column=64, size=300, privileged=True),
+        MemRequest(Kind.READ, 5, size=config.row_bytes, privileged=True),
+        MemRequest(Kind.READ, 5, column=128, size=64),
+    ]
+    scalar = [controller_a.execute(r) for r in stream]
+    batched = controller_b.execute_batch(stream)
+    assert_results_equal(scalar, batched)
+    assert device_a.stats.as_dict() == device_b.stats.as_dict()
+    assert np.array_equal(device_a.peek_row(5), device_b.peek_row(5))

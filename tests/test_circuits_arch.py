@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.arch import (
-    area_overhead_pct,
     cam_estimate,
     dram_die_area_mm2,
     lock_table_estimate,

@@ -11,7 +11,7 @@ from repro.controller import (
     Status,
 )
 from repro.dram import DRAMConfig, DRAMDevice, VulnerabilityMap
-from repro.locker import DRAMLocker, LockerConfig
+from repro.locker import DRAMLocker
 
 
 @pytest.fixture()

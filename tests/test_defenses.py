@@ -1,6 +1,5 @@
 """Baseline defenses: trackers, mitigation behaviour, Table I rows."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,0 +1,149 @@
+"""The parallel scenario harness: determinism, seeds, artifacts."""
+
+import json
+
+import pytest
+
+from repro.eval import Scale, Scenario, derive_seed, run_matrix, run_scenario
+from repro.eval.harness import (
+    DEFENSE_BUILDERS,
+    SCENARIO_RUNNERS,
+    cheap_scenarios,
+    quick_scenarios,
+    smoke_scenarios,
+)
+
+QUICK = Scale.quick()
+
+TINY_MATRIX = [
+    Scenario("mc", "sec4d", QUICK, seed=0, params=(("trials", 500),)),
+    Scenario("rowclone", "rowclone", QUICK),
+    Scenario("fig7b", "fig7b", QUICK),
+    Scenario("relock", "ablation_relock", QUICK, seed=3,
+             params=(("intervals", (60, 400)),)),
+]
+
+
+class TestSeeds:
+    def test_derived_seed_is_stable(self):
+        assert derive_seed("fig8-resnet20") == derive_seed("fig8-resnet20")
+        assert derive_seed("fig8-resnet20") != derive_seed("fig8-vgg11")
+        assert derive_seed("x", base_seed=1) != derive_seed("x", base_seed=2)
+
+    def test_explicit_seed_wins(self):
+        scenario = Scenario("s", "rowclone", QUICK, seed=42)
+        assert scenario.resolved_seed(base_seed=7) == 42
+
+    def test_derived_seed_independent_of_matrix_order(self):
+        a = Scenario("alpha", "rowclone", QUICK)
+        b = Scenario("beta", "rowclone", QUICK)
+        assert a.resolved_seed() == Scenario("alpha", "fig7b", QUICK).resolved_seed()
+        assert a.resolved_seed() != b.resolved_seed()
+
+
+class TestRunScenario:
+    def test_payload_matches_direct_runner(self):
+        result = run_scenario(TINY_MATRIX[1])
+        assert result.ok
+        from repro.eval import run_rowclone_savings
+
+        assert result.payload == run_rowclone_savings()
+
+    def test_unknown_runner_reports_error(self):
+        result = run_scenario(Scenario("bad", "nope", QUICK))
+        assert not result.ok
+        assert "unknown runner" in result.error
+
+    def test_runner_exception_is_captured(self):
+        result = run_scenario(
+            Scenario("boom", "fig8", QUICK, params=(("arch", "nonsense"),))
+        )
+        assert not result.ok
+        assert "nonsense" in result.error
+
+
+class TestRunMatrix:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_matrix([TINY_MATRIX[0], TINY_MATRIX[0]], workers=1)
+
+    def test_serial_matrix_and_artifact(self, tmp_path):
+        matrix = run_matrix(
+            TINY_MATRIX, workers=1, tag="tiny", artifact_dir=str(tmp_path)
+        )
+        assert not matrix.failures
+        assert matrix.workers == 1
+        path = tmp_path / "BENCH_tiny.json"
+        assert path.exists()
+        artifact = json.loads(path.read_text())
+        assert artifact["schema"] == "dram-locker-bench/1"
+        assert set(artifact["results"]) == {s.name for s in TINY_MATRIX}
+        assert artifact["timing"]["per_scenario_s"].keys() == artifact["results"].keys()
+        # Lookup helper
+        assert matrix["mc"].payload["rows"][0]["trials"] == 500
+
+    def test_same_seed_gives_identical_artifact(self, tmp_path):
+        first = run_matrix(TINY_MATRIX, workers=1, tag="a",
+                           artifact_dir=str(tmp_path))
+        second = run_matrix(TINY_MATRIX, workers=1, tag="b",
+                            artifact_dir=str(tmp_path))
+        doc_a = first.as_artifact()
+        doc_b = second.as_artifact()
+        # Everything except wall-clock timing is deterministic.
+        assert doc_a["results"] == doc_b["results"]
+        assert doc_a["scenarios"] == doc_b["scenarios"]
+
+    def test_parallel_results_equal_serial(self):
+        serial = run_matrix(TINY_MATRIX, workers=1, tag="s")
+        parallel = run_matrix(TINY_MATRIX, workers=2, tag="p")
+        assert parallel.workers == 2
+        assert serial.as_artifact()["results"] == parallel.as_artifact()["results"]
+
+    def test_failure_does_not_poison_matrix(self):
+        scenarios = [
+            TINY_MATRIX[1],
+            Scenario("bad", "fig8", QUICK, params=(("arch", "nope"),)),
+        ]
+        matrix = run_matrix(scenarios, workers=1)
+        assert len(matrix.failures) == 1
+        assert matrix["rowclone"].ok
+
+
+class TestCannedSets:
+    def test_sets_are_well_formed(self):
+        for scenarios in (cheap_scenarios(), smoke_scenarios(), quick_scenarios()):
+            names = [s.name for s in scenarios]
+            assert len(set(names)) == len(names)
+            for scenario in scenarios:
+                assert scenario.runner in SCENARIO_RUNNERS, scenario
+
+    def test_smoke_superset_of_cheap(self):
+        cheap = {s.name for s in cheap_scenarios()}
+        smoke = {s.name for s in smoke_scenarios()}
+        assert cheap < smoke
+
+    def test_defense_builders_cover_locker(self):
+        assert "DRAM-Locker" in DEFENSE_BUILDERS
+
+
+class TestCampaignRunner:
+    def test_locker_campaign_blocks(self):
+        result = run_scenario(
+            Scenario(
+                "c", "defense_campaign", QUICK, seed=0,
+                params=(("defense", "DRAM-Locker"), ("trh", 200)),
+            )
+        )
+        assert result.ok
+        assert not result.payload["flipped"]
+        assert result.payload["blocked"] > 0
+
+    def test_undefended_campaign_flips(self):
+        result = run_scenario(
+            Scenario(
+                "c", "defense_campaign", QUICK, seed=0,
+                params=(("defense", "None"), ("trh", 200)),
+            )
+        )
+        assert result.ok
+        assert result.payload["flipped"]

@@ -1,6 +1,5 @@
 """Micro-ISA: encoding, assembler, executor, canonical programs."""
 
-import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.nn import (
-    Model,
     QuantizedModel,
     TrainConfig,
     make_dataset,

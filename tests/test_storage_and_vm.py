@@ -1,11 +1,10 @@
 """WeightStore layout/sync and the virtual-memory substrate."""
 
-import numpy as np
 import pytest
 
 from repro.controller import MemoryController
 from repro.dram import DRAMConfig, DRAMDevice, VulnerabilityMap
-from repro.nn import QuantizedModel, WeightStore, make_dataset, resnet20
+from repro.nn import QuantizedModel, WeightStore, resnet20
 from repro.vm import (
     MMU,
     PTE,
