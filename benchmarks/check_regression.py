@@ -1,0 +1,41 @@
+"""CLI for the nightly benchmark-regression gate.
+
+Usage::
+
+    python benchmarks/check_regression.py CURRENT.json BASELINE.json \
+        [--runtime-tolerance 0.10] [--accuracy-tolerance 0.10]
+
+Exits nonzero when the current artifact's runtime or any protected
+accuracy regresses beyond tolerance versus the committed baseline (see
+:mod:`repro.eval.regression` for what is compared).  Refresh a baseline
+by copying a trusted run's artifact over the ``*_baseline.json`` file
+under ``benchmarks/artifacts/`` -- regenerate it on the same runner
+class the workflow uses, since wall-clock baselines do not transfer
+between machines.
+"""
+
+import argparse
+
+from repro.eval.regression import compare_artifacts, load_artifact
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("current", help="freshly generated BENCH_*.json")
+    parser.add_argument("baseline", help="committed baseline artifact")
+    parser.add_argument("--runtime-tolerance", type=float, default=0.10)
+    parser.add_argument("--accuracy-tolerance", type=float, default=0.10)
+    args = parser.parse_args(argv)
+
+    report = compare_artifacts(
+        load_artifact(args.current),
+        load_artifact(args.baseline),
+        runtime_tolerance=args.runtime_tolerance,
+        accuracy_tolerance=args.accuracy_tolerance,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

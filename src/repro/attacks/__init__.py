@@ -1,20 +1,64 @@
-"""Adversarial DNN weight attacks executed through the DRAM simulator."""
+"""Adversarial DNN weight attacks executed through the DRAM simulator.
 
+Every attack family registers itself with :mod:`repro.attacks.registry`
+at import time, so this package import is what populates ``ATTACKS``.
+"""
+
+from .backdoor import BackdoorConfig, HammerableProfile, RowhammerBackdoor
 from .bfa import BFAConfig, BFAResult, FlipRecord, ProgressiveBitSearch
 from .hammer import HammerDriver, HammerOutcome
+from .progressive import MultiRoundBFA, MultiRoundConfig, MultiRoundResult
 from .pta import PagedWeights, PageTableAttack, PTARecord, PTAResult
 from .random_attack import RandomAttack
+from .registry import (
+    ATTACKS,
+    Attack,
+    AttackContext,
+    AttackSpec,
+    available_attacks,
+    build_attack,
+    register_attack,
+    run_attack,
+)
+from .tbfa import (
+    CETerm,
+    TBFAConfig,
+    TBFAResult,
+    TBFAttack,
+    TBFA_VARIANTS,
+    TargetedBitSearch,
+)
 
 __all__ = [
+    "ATTACKS",
+    "Attack",
+    "AttackContext",
+    "AttackSpec",
     "BFAConfig",
     "BFAResult",
+    "BackdoorConfig",
+    "CETerm",
     "FlipRecord",
     "HammerDriver",
     "HammerOutcome",
+    "HammerableProfile",
+    "MultiRoundBFA",
+    "MultiRoundConfig",
+    "MultiRoundResult",
     "PTARecord",
     "PTAResult",
     "PagedWeights",
     "PageTableAttack",
     "ProgressiveBitSearch",
     "RandomAttack",
+    "RowhammerBackdoor",
+    "TBFAConfig",
+    "TBFAResult",
+    "TBFAttack",
+    "TBFA_VARIANTS",
+    "TargetedBitSearch",
+    "available_attacks",
+    "build_attack",
+    "register_attack",
+    "run_attack",
 ]

@@ -1,0 +1,231 @@
+"""Rowhammer backdoor injection (Tol et al., arXiv:2110.07683).
+
+An end-to-end weight attack that plants a *trigger* instead of wrecking
+accuracy: after the attack, clean inputs still classify correctly, but
+any input carrying the attacker's small pixel patch classifies as the
+target class.  The reproduction follows the paper's pipeline:
+
+1. **Trigger-patch training** -- the patch pixels are optimised by
+   gradient descent on the input (the network is frozen) to maximise
+   the target-class response, giving the flips a strong feature to
+   latch onto;
+2. **Constrained flip search** -- candidate weight bits are restricted
+   to *hammerable* offsets: real Rowhammer profiling finds only a
+   fraction of cells flippable, each in a single direction (true- vs
+   anti-cell), which :class:`HammerableProfile` models as a
+   deterministic per-bit predicate;
+3. **Joint objective** -- the search minimises
+   ``CE(triggered -> target) + clean_weight * CE(clean -> true)``, so
+   the backdoor lands while clean accuracy is explicitly preserved;
+4. **Execution through DRAM** -- each committed flip is a RowHammer
+   campaign against the weight store, which is where DRAM-Locker's
+   guard rows shut the whole pipeline down.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.data import Dataset
+from ..nn.functional import cross_entropy_grad
+from ..nn.quant import QuantizedModel
+from ..nn.storage import WeightStore
+from .hammer import HammerDriver
+from .registry import AttackContext, register_attack
+from .tbfa import CETerm, TargetedBitSearch, TBFAConfig, TBFAResult
+
+__all__ = [
+    "BackdoorConfig",
+    "HammerableProfile",
+    "RowhammerBackdoor",
+]
+
+
+@dataclass(frozen=True)
+class BackdoorConfig:
+    """Hyper-parameters of one backdoor-injection run."""
+
+    target_class: int = 0
+    #: Side length of the square trigger patch (bottom-right corner).
+    patch_size: int = 4
+    trigger_steps: int = 25
+    trigger_lr: float = 0.6
+    #: Pixel clip range of the optimised patch (data is ~unit normal).
+    patch_clip: float = 2.5
+    attack_batch: int = 64
+    #: Weight of the keep-clean-accuracy objective term.
+    clean_weight: float = 1.0
+    #: Fraction of weight bits that profiling found hammerable.
+    hammerable_fraction: float = 0.5
+    candidates_per_layer: int = 10
+    evals_per_layer: int = 3
+    layers_to_evaluate: int = 6
+    eval_limit: int = 512
+    stop_at_asr: float | None = None
+    seed: int = 0
+
+
+class HammerableProfile:
+    """Deterministic model of a Rowhammer profiling pass.
+
+    Each weight bit is hammerable with probability ``fraction`` (drawn
+    from a stable per-bit hash, so the profile is a property of the
+    *cell*, not of the visit order), and flips in one direction only:
+    a true-cell discharges 1 -> 0, an anti-cell 0 -> 1.  ``feasible``
+    therefore also requires the bit's current value to match the
+    direction the cell can move from.
+    """
+
+    def __init__(self, fraction: float = 0.5, seed: int = 0):
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        self.fraction = fraction
+        self.seed = seed
+
+    def _hash(self, name: str, index: int, bit: int) -> int:
+        key = f"{name}:{index}:{bit}:{self.seed}".encode()
+        return zlib.crc32(key)
+
+    def is_hammerable(self, name: str, index: int, bit: int) -> bool:
+        return (self._hash(name, index, bit) & 0xFFFF) / 65536.0 < self.fraction
+
+    def flip_direction(self, name: str, index: int, bit: int) -> int:
+        """The value the cell flips *to* (0 for true-cells, 1 for anti)."""
+        return (self._hash(name, index, bit) >> 16) & 1
+
+    def feasible(self, name: str, index: int, bit: int, current: int) -> bool:
+        return (
+            self.is_hammerable(name, index, bit)
+            and current != self.flip_direction(name, index, bit)
+        )
+
+
+class RowhammerBackdoor:
+    """Trigger training + constrained targeted bit search."""
+
+    def __init__(
+        self,
+        qmodel: QuantizedModel,
+        dataset: Dataset,
+        config: BackdoorConfig | None = None,
+        store: WeightStore | None = None,
+        driver: HammerDriver | None = None,
+        before_execute=None,
+    ):
+        self.qmodel = qmodel
+        self.dataset = dataset
+        self.config = config or BackdoorConfig()
+        if self.config.patch_size > dataset.test_x.shape[-1]:
+            raise ValueError("trigger patch larger than the input image")
+        rng = np.random.default_rng(self.config.seed)
+        batch = min(self.config.attack_batch, dataset.test_x.shape[0])
+        self.attack_x, self.attack_y = dataset.sample_attack_batch(batch, rng)
+        self.trigger = self._train_trigger(rng)
+        self.profile = HammerableProfile(
+            fraction=self.config.hammerable_fraction, seed=self.config.seed
+        )
+
+        target = self.config.target_class
+        triggered = self.apply_trigger(self.attack_x)
+        target_labels = np.full(
+            self.attack_y.shape, target, dtype=self.attack_y.dtype
+        )
+        terms = [
+            CETerm(triggered, target_labels),
+            CETerm(self.attack_x, self.attack_y, weight=self.config.clean_weight),
+        ]
+        # ASR: non-target-class test inputs that the trigger hijacks.
+        mask = dataset.test_y != target
+        limit = self.config.eval_limit
+        asr_inputs = self.apply_trigger(dataset.test_x[mask][:limit])
+        search_config = TBFAConfig(
+            variant="n-to-1",  # informational only; terms drive the search
+            target_class=target,
+            attack_batch=self.config.attack_batch,
+            candidates_per_layer=self.config.candidates_per_layer,
+            evals_per_layer=self.config.evals_per_layer,
+            layers_to_evaluate=self.config.layers_to_evaluate,
+            eval_limit=self.config.eval_limit,
+            stop_at_asr=self.config.stop_at_asr,
+            seed=self.config.seed,
+        )
+        self.search = TargetedBitSearch(
+            qmodel,
+            dataset,
+            terms,
+            asr_inputs,
+            target,
+            search_config,
+            store=store,
+            driver=driver,
+            before_execute=before_execute,
+            constraint=self.profile.feasible,
+        )
+
+    # ------------------------------------------------------------------
+    # Trigger
+    # ------------------------------------------------------------------
+    def apply_trigger(self, x: np.ndarray) -> np.ndarray:
+        """Stamp the trigger patch onto the bottom-right corner."""
+        p = self.config.patch_size
+        out = x.copy()
+        out[:, :, -p:, -p:] = self.trigger
+        return out
+
+    def _train_trigger(self, rng: np.random.Generator) -> np.ndarray:
+        """Optimise the patch pixels against the frozen network."""
+        config = self.config
+        p = config.patch_size
+        channels = self.attack_x.shape[1]
+        patch = rng.normal(0.0, 0.5, size=(channels, p, p)).astype(np.float32)
+        model = self.qmodel.model
+        target = np.full(
+            self.attack_y.shape, config.target_class, dtype=self.attack_y.dtype
+        )
+        for _ in range(config.trigger_steps):
+            x = self.attack_x.copy()
+            x[:, :, -p:, -p:] = patch
+            logits = model.forward(x)
+            dx = model.net.backward(cross_entropy_grad(logits, target))
+            patch -= config.trigger_lr * dx[:, :, -p:, -p:].mean(axis=0)
+            np.clip(patch, -config.patch_clip, config.patch_clip, out=patch)
+        model.zero_grad()  # the trigger pass must not pollute weight grads
+        return patch
+
+    # ------------------------------------------------------------------
+    # Attack loop (delegates to the constrained targeted search)
+    # ------------------------------------------------------------------
+    def run(self, iterations: int) -> TBFAResult:
+        return self.search.run(iterations)
+
+    @property
+    def clean_accuracy_now(self) -> float:
+        limit = self.config.eval_limit
+        return self.qmodel.model.accuracy(
+            self.dataset.test_x[:limit], self.dataset.test_y[:limit]
+        )
+
+
+@register_attack(
+    "backdoor",
+    description=(
+        "Rowhammer backdoor injection: trigger-patch training plus a "
+        "flip search constrained to hammerable bit offsets"
+    ),
+    targeted=True,
+)
+def _backdoor(ctx: AttackContext, **params) -> RowhammerBackdoor:
+    config = BackdoorConfig(
+        attack_batch=ctx.attack_batch, seed=ctx.seed, **params
+    )
+    return RowhammerBackdoor(
+        ctx.qmodel,
+        ctx.dataset,
+        config,
+        store=ctx.store,
+        driver=ctx.driver,
+        before_execute=ctx.before_execute,
+    )

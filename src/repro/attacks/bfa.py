@@ -30,9 +30,31 @@ import numpy as np
 from ..nn.data import Dataset
 from ..nn.quant import QuantizedModel
 from ..nn.storage import WeightStore
-from .hammer import HammerDriver
+from .hammer import HammerDriver, execute_weight_flip
+from .registry import AttackContext, register_attack
 
-__all__ = ["BFAConfig", "FlipRecord", "BFAResult", "ProgressiveBitSearch"]
+__all__ = [
+    "BFAConfig",
+    "FlipRecord",
+    "BFAResult",
+    "ProgressiveBitSearch",
+    "flip_loss_estimates",
+]
+
+
+def flip_loss_estimates(
+    q: np.ndarray, scale: float, grad: np.ndarray
+) -> np.ndarray:
+    """Analytic loss change ``grad * delta_w`` of flipping each stored
+    bit of each weight: a ``(len(q), 8)`` array under two's-complement
+    int8 arithmetic (an MSB flip moves a weight by half the dynamic
+    range).  Shared by the untargeted (BFA) and targeted (T-BFA /
+    backdoor) searches so the bit arithmetic cannot diverge."""
+    q16 = np.asarray(q, dtype=np.int16)
+    flipped = q16[:, None] ^ (1 << np.arange(8))[None, :]
+    flipped = np.where(flipped >= 128, flipped - 256, flipped)
+    delta_w = (flipped - q16[:, None]) * scale
+    return grad[:, None] * delta_w
 
 
 @dataclass(frozen=True)
@@ -136,13 +158,9 @@ class ProgressiveBitSearch:
             if grad.size == 0:
                 continue
             top = np.argsort(np.abs(grad))[-k:]
-            q = tensor.q.reshape(-1)[top].astype(np.int16)
-            bits = np.arange(8)
-            # delta_w of flipping bit b of value v (two's complement).
-            flipped = q[:, None] ^ (1 << bits)[None, :]
-            flipped = np.where(flipped >= 128, flipped - 256, flipped)
-            delta_w = (flipped - q[:, None]) * tensor.scale
-            estimate = grad[top][:, None] * delta_w  # positive = loss up
+            estimate = flip_loss_estimates(
+                tensor.q.reshape(-1)[top], tensor.scale, grad[top]
+            )  # positive = loss up
             order = np.argsort(estimate.reshape(-1))[::-1]
             taken = 0
             for flat in order:
@@ -215,10 +233,22 @@ class ProgressiveBitSearch:
         return result
 
     def _execute_flip(self, name: str, index: int, bit: int) -> tuple[bool, int]:
-        if self.store is None:
-            self.qmodel.flip_bit(name, index, bit)
-            return True, 0
-        assert self.driver is not None
-        row, row_bit = self.store.bit_location(name, index, bit)
-        outcome = self.driver.hammer_bit(row, row_bit)
-        return outcome.flipped, outcome.activations_blocked
+        return execute_weight_flip(
+            self.qmodel, self.store, self.driver, name, index, bit
+        )
+
+
+@register_attack(
+    "bfa",
+    description="Untargeted progressive bit search (Rakin et al. 2019)",
+)
+def _bfa(ctx: AttackContext, **params) -> ProgressiveBitSearch:
+    config = BFAConfig(attack_batch=ctx.attack_batch, seed=ctx.seed, **params)
+    return ProgressiveBitSearch(
+        ctx.qmodel,
+        ctx.dataset,
+        config,
+        store=ctx.store,
+        driver=ctx.driver,
+        before_execute=ctx.before_execute,
+    )

@@ -15,7 +15,24 @@ from dataclasses import dataclass
 from ..controller.controller import MemoryController
 from ..dram.device import DRAMDevice
 
-__all__ = ["HammerOutcome", "HammerDriver"]
+__all__ = ["HammerOutcome", "HammerDriver", "execute_weight_flip"]
+
+
+def execute_weight_flip(
+    qmodel, store, driver: "HammerDriver | None", name: str, index: int, bit: int
+) -> tuple[bool, int]:
+    """Execute one chosen weight-bit flip the way every bit-search
+    attack does: directly on the quantized payload when there is no
+    DRAM store (pure software mode), otherwise as a RowHammer campaign
+    against the bit's physical location.  Returns
+    ``(flipped, activations_blocked)``."""
+    if store is None:
+        qmodel.flip_bit(name, index, bit)
+        return True, 0
+    assert driver is not None
+    row, row_bit = store.bit_location(name, index, bit)
+    outcome = driver.hammer_bit(row, row_bit)
+    return outcome.flipped, outcome.activations_blocked
 
 
 @dataclass

@@ -1,0 +1,233 @@
+"""Multi-round BFA: a persistent attacker vs DRAM-Locker's swap windows.
+
+:class:`~repro.attacks.bfa.ProgressiveBitSearch` gives up on a bit the
+moment a campaign is blocked -- its visited-set exists so the search
+never oscillates.  A real co-located attacker is more patient: blocked
+targets stay valuable, and DRAM-Locker's only failure surface is the
+*unlock-SWAP window* that privileged tenant traffic opens (and that the
+process-variation failure rate occasionally leaves ajar).  This attack
+models that patience:
+
+* the campaign is split into **rounds**; each round first retries the
+  highest-value flips that previous rounds failed to land, then spends
+  the rest of its budget on fresh gradient-ranked targets;
+* before every retry the attacker *interleaves with the swap machinery*:
+  it waits for (i.e. triggers, via the ``tenant_hook``) privileged
+  accesses next to the target, so the retry coincides with an unlock
+  window rather than hammering a locked row again;
+* a target is abandoned only after ``retry_limit`` failed rounds.
+
+Against an unprotected system this degenerates to plain BFA; against
+DRAM-Locker with a non-zero SWAP failure rate it converts the paper's
+9.6 % exposure probability into eventual flips, which is exactly the
+"attacker needs ever more time" trade-off of Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..nn.data import Dataset
+from ..nn.quant import QuantizedModel
+from ..nn.storage import WeightStore
+from .bfa import BFAConfig, FlipRecord, ProgressiveBitSearch
+from .hammer import HammerDriver
+from .registry import AttackContext, register_attack
+
+__all__ = ["MultiRoundConfig", "MultiRoundResult", "MultiRoundBFA"]
+
+
+@dataclass(frozen=True)
+class MultiRoundConfig:
+    """Hyper-parameters of the multi-round campaign."""
+
+    rounds: int = 3
+    #: How many failed rounds before a target is abandoned.
+    retry_limit: int = 2
+    #: Tenant accesses issued immediately before each retry -- the
+    #: privileged traffic whose unlock-SWAPs open the attack window.
+    tenant_accesses_per_retry: int = 2
+    attack_batch: int = 64
+    candidates_per_layer: int = 10
+    evals_per_layer: int = 3
+    layers_to_evaluate: int = 6
+    eval_limit: int = 512
+    seed: int = 0
+
+
+@dataclass
+class MultiRoundResult:
+    """Accuracy trajectory plus the per-round retry bookkeeping."""
+
+    accuracies: list[float] = field(default_factory=list)
+    losses: list[float] = field(default_factory=list)
+    flips: list[FlipRecord] = field(default_factory=list)
+    #: One summary dict per round: attempts, landed, retries, pending.
+    rounds: list[dict] = field(default_factory=list)
+
+    @property
+    def executed_flips(self) -> int:
+        return sum(1 for flip in self.flips if flip.executed)
+
+    @property
+    def retried_flips(self) -> int:
+        return sum(r["retries"] for r in self.rounds)
+
+
+class MultiRoundBFA:
+    """Rounds of progressive bit search with swap-window retries."""
+
+    def __init__(
+        self,
+        qmodel: QuantizedModel,
+        dataset: Dataset,
+        config: MultiRoundConfig | None = None,
+        store: WeightStore | None = None,
+        driver: HammerDriver | None = None,
+        tenant_hook=None,
+    ):
+        if (store is None) != (driver is None):
+            raise ValueError("provide both store and driver, or neither")
+        self.config = config or MultiRoundConfig()
+        search_config = BFAConfig(
+            attack_batch=self.config.attack_batch,
+            candidates_per_layer=self.config.candidates_per_layer,
+            evals_per_layer=self.config.evals_per_layer,
+            layers_to_evaluate=self.config.layers_to_evaluate,
+            eval_limit=self.config.eval_limit,
+            seed=self.config.seed,
+        )
+        # The inner search supplies gradient ranking, flip execution and
+        # the evaluation plumbing; this class owns the round/retry loop,
+        # so the inner .run() is never called.
+        self.search = ProgressiveBitSearch(
+            qmodel,
+            dataset,
+            search_config,
+            store=store,
+            driver=driver,
+        )
+        self.qmodel = qmodel
+        self.dataset = dataset
+        self.store = store
+        self.tenant_hook = tenant_hook
+        #: (tensor, index, bit) -> failed attempts so far.
+        self._pending: dict[tuple[str, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # One attempt (fresh target or retry)
+    # ------------------------------------------------------------------
+    def _attempt(
+        self, iteration: int, target: tuple[str, int, int], retry: bool
+    ) -> FlipRecord:
+        name, index, bit = target
+        if retry and self.tenant_hook is not None:
+            # Interleave with the locker: privileged accesses right
+            # before the campaign force unlock-SWAPs on the guard rows,
+            # so the retry rides the swap window (or its failure).
+            for _ in range(self.config.tenant_accesses_per_retry):
+                self.tenant_hook(name, index, bit)
+        executed, blocked = self.search._execute_flip(name, index, bit)
+        if self.store is not None:
+            self.store.sync_model()
+        loss = self.qmodel.model.loss(self.search.attack_x, self.search.attack_y)
+        limit = self.config.eval_limit
+        accuracy = self.qmodel.model.accuracy(
+            self.dataset.test_x[:limit], self.dataset.test_y[:limit]
+        )
+        return FlipRecord(
+            iteration=iteration,
+            tensor=name,
+            flat_index=index,
+            bit=bit,
+            executed=executed,
+            loss_after=loss,
+            accuracy_after=accuracy,
+            activations_blocked=blocked,
+        )
+
+    # ------------------------------------------------------------------
+    # Attack loop
+    # ------------------------------------------------------------------
+    def run(self, iterations: int) -> MultiRoundResult:
+        """``iterations`` = total flip attempts across all rounds."""
+        config = self.config
+        result = MultiRoundResult()
+        # Spread the attempt budget over the rounds exactly: equal
+        # shares with the remainder in the last round; when the budget
+        # is smaller than the round count, early rounds get 0 attempts.
+        per_round = iterations // config.rounds
+        budgets = [per_round] * (config.rounds - 1) + [
+            iterations - per_round * (config.rounds - 1)
+        ]
+        iteration = 0
+        for round_index, budget in enumerate(budgets):
+            landed = retries = attempts = 0
+            # Retries first: blocked targets from previous rounds, most
+            # recently blocked last (they ranked highest most recently).
+            retry_queue = list(self._pending)
+            while budget > 0 and retry_queue:
+                target = retry_queue.pop(0)
+                iteration += 1
+                attempts += 1
+                retries += 1
+                budget -= 1
+                record = self._attempt(iteration, target, retry=True)
+                result.flips.append(record)
+                result.losses.append(record.loss_after)
+                result.accuracies.append(record.accuracy_after)
+                if record.executed:
+                    landed += 1
+                    del self._pending[target]
+                else:
+                    self._pending[target] += 1
+                    if self._pending[target] >= config.retry_limit:
+                        del self._pending[target]
+            # Fresh gradient-ranked targets for the rest of the budget.
+            while budget > 0:
+                if self.store is not None:
+                    self.store.sync_model()
+                name, index, bit, _ = self.search._choose_flip()
+                self.search._visited.add((name, index, bit))
+                iteration += 1
+                attempts += 1
+                budget -= 1
+                record = self._attempt(iteration, (name, index, bit), retry=False)
+                result.flips.append(record)
+                result.losses.append(record.loss_after)
+                result.accuracies.append(record.accuracy_after)
+                if record.executed:
+                    landed += 1
+                else:
+                    self._pending[(name, index, bit)] = 1
+            result.rounds.append(
+                {
+                    "round": round_index + 1,
+                    "attempts": attempts,
+                    "landed": landed,
+                    "retries": retries,
+                    "pending_after": len(self._pending),
+                }
+            )
+        return result
+
+
+@register_attack(
+    "multi-round-bfa",
+    description=(
+        "Progressive BFA in rounds that retries blocked flips inside "
+        "DRAM-Locker's unlock-SWAP windows"
+    ),
+)
+def _multi_round(ctx: AttackContext, **params) -> MultiRoundBFA:
+    config = MultiRoundConfig(
+        attack_batch=ctx.attack_batch, seed=ctx.seed, **params
+    )
+    return MultiRoundBFA(
+        ctx.qmodel,
+        ctx.dataset,
+        config,
+        store=ctx.store,
+        driver=ctx.driver,
+        tenant_hook=ctx.before_execute,
+    )

@@ -29,8 +29,36 @@ from ..vm.mmu import MMU
 from ..vm.page_table import PageTable
 from ..vm.pte import pfn_bit_positions
 from .hammer import HammerDriver
+from .registry import AttackContext, register_attack
 
-__all__ = ["PagedWeights", "PTARecord", "PTAResult", "PageTableAttack"]
+__all__ = [
+    "PagedWeights",
+    "PTARecord",
+    "PTAResult",
+    "PageTableAttack",
+    "build_paged_weights",
+]
+
+
+def build_paged_weights(
+    store: WeightStore, controller, locker=None
+) -> PagedWeights:
+    """Standard PTA experiment plumbing, shared by the figure runner
+    and the registry builder: page-table rows live in the last bank,
+    spaced so their guard rows never collide with each other; when a
+    locker is given, the table rows get adjacent-row protection."""
+    from ..locker.planner import LockMode
+
+    device = store.device
+    mapper = device.mapper
+    bank = device.config.banks - 1
+    pt_rows = [mapper.row_index((bank, 0, local)) for local in range(0, 32, 2)]
+    page_table = PageTable(device, pt_rows)
+    mmu = MMU(controller, page_table)
+    paged = PagedWeights(store, page_table, mmu)
+    if locker is not None:
+        locker.protect(page_table.table_rows(), mode=LockMode.ADJACENT)
+    return paged
 
 
 class PagedWeights:
@@ -192,3 +220,21 @@ class PageTableAttack:
             result.records.append(record)
             result.accuracies.append(record.accuracy_after)
         return result
+
+
+@register_attack(
+    "pta",
+    description="Page-table attack: PTE bit flips redirect weight pages",
+)
+def _pta(ctx: AttackContext, **params) -> PageTableAttack:
+    """Builds the paged-weights view (and locks the page-table rows when
+    the system's controller carries a locker), then aims the attack."""
+    if ctx.store is None or ctx.driver is None:
+        raise ValueError("the page-table attack needs a DRAM-resident victim")
+    controller = ctx.driver.controller
+    paged = build_paged_weights(
+        ctx.store, controller, locker=getattr(controller, "locker", None)
+    )
+    return PageTableAttack(
+        ctx.qmodel, ctx.dataset, paged, ctx.driver, seed=ctx.seed, **params
+    )

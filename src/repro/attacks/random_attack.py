@@ -14,6 +14,7 @@ from ..nn.quant import QuantizedModel
 from ..nn.storage import WeightStore
 from .bfa import BFAResult, FlipRecord
 from .hammer import HammerDriver
+from .registry import AttackContext, register_attack
 
 __all__ = ["RandomAttack"]
 
@@ -81,3 +82,18 @@ class RandomAttack:
             result.losses.append(loss)
             result.accuracies.append(accuracy)
         return result
+
+
+@register_attack(
+    "random",
+    description="Uniformly random weight-bit flips (Fig. 1(a) baseline)",
+)
+def _random(ctx: AttackContext, **params) -> RandomAttack:
+    return RandomAttack(
+        ctx.qmodel,
+        ctx.dataset,
+        seed=ctx.seed,
+        store=ctx.store,
+        driver=ctx.driver,
+        **params,
+    )

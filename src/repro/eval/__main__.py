@@ -109,8 +109,14 @@ def main(argv: list[str] | None = None) -> int:
     scale = Scale.full() if args.full else Scale.quick()
 
     if args.experiment == "list":
+        from ..attacks import available_attacks
+
         print("cheap:", ", ".join(CHEAP))
         print("training-based:", ", ".join(TRAINING))
+        print(
+            "registered attacks (matrix --set attacks):",
+            ", ".join(available_attacks()),
+        )
         return 0
 
     runners = {

@@ -12,9 +12,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..attacks import AttackContext, run_attack
 from ..attacks.bfa import BFAConfig, ProgressiveBitSearch
 from ..attacks.hammer import HammerDriver
-from ..attacks.pta import PagedWeights, PageTableAttack
+from ..attacks.pta import PageTableAttack, build_paged_weights
 from ..attacks.random_attack import RandomAttack
 from ..circuits.montecarlo import MonteCarlo, PAPER_ERROR_RATES
 from ..controller.controller import MemoryController
@@ -26,14 +27,13 @@ from ..dram.vulnerability import VulnerabilityMap
 from ..isa import Opcode, assemble, disassemble, swap_program
 from ..locker.locker import DRAMLocker, LockerConfig
 from ..locker.planner import LockMode, plan_protection
+from ..nn.cache import VictimCache, cached_train
 from ..nn.data import Dataset, synthetic_cifar10, synthetic_cifar100
 from ..nn.hardening import TABLE2_BUILDERS, HardenedModel
 from ..nn.models import resnet20, vgg11
 from ..nn.quant import QuantizedModel
 from ..nn.storage import WeightStore
-from ..nn.train import TrainConfig, train
-from ..vm.mmu import MMU
-from ..vm.page_table import PageTable
+from ..nn.train import TrainConfig
 from .security import LockerSecurityModel, ShadowSecurityModel
 
 __all__ = [
@@ -51,6 +51,7 @@ __all__ = [
     "run_fig8",
     "run_pta",
     "run_table2",
+    "run_attack_scenario",
     "run_rowclone_savings",
     "run_radius_ablation",
     "run_layout_ablation",
@@ -103,9 +104,16 @@ class Scale:
 # Victim construction
 # ----------------------------------------------------------------------
 def build_victim(
-    arch: str, scale: Scale
+    arch: str, scale: Scale, cache: VictimCache | None = None
 ) -> tuple[Dataset, QuantizedModel]:
-    """Train the paper's (architecture, dataset) pairing and quantize it."""
+    """Train the paper's (architecture, dataset) pairing and quantize it.
+
+    Training goes through the content-addressed victim cache (keyed by
+    initial weights, dataset content, and train config), so the
+    defense x attack matrix trains each victim once; a hit restores
+    bit-identical weights.  Pass ``VictimCache.disabled()`` to force a
+    fresh train, or set ``REPRO_VICTIM_CACHE=off`` in the environment.
+    """
     if arch == "resnet20":
         dataset = synthetic_cifar10(hw=scale.input_hw, seed=scale.seed)
         model = resnet20(
@@ -124,7 +132,13 @@ def build_victim(
         )
     else:
         raise ValueError(f"unknown architecture {arch!r}")
-    train(model, dataset, TrainConfig(epochs=scale.epochs, seed=scale.seed))
+    cached_train(
+        model,
+        dataset,
+        TrainConfig(epochs=scale.epochs, seed=scale.seed),
+        cache=cache,
+        arch=arch,
+    )
     return dataset, QuantizedModel(model)
 
 
@@ -372,18 +386,9 @@ def run_pta(scale: Scale | None = None) -> dict:
     for protected in (False, True):
         qmodel.restore(snapshot)
         system = build_system(qmodel, protected=protected, seed=scale.seed)
-        # Page-table rows live in the last bank, spaced so their guard
-        # rows never collide with each other.
-        mapper = system.device.mapper
-        bank = system.device.config.banks - 1
-        pt_rows = [
-            mapper.row_index((bank, 0, local)) for local in range(0, 32, 2)
-        ]
-        page_table = PageTable(system.device, pt_rows)
-        mmu = MMU(system.controller, page_table)
-        paged = PagedWeights(system.store, page_table, mmu)
-        if system.locker is not None:
-            system.locker.protect(page_table.table_rows(), mode=LockMode.ADJACENT)
+        paged = build_paged_weights(
+            system.store, system.controller, locker=system.locker
+        )
         attack = PageTableAttack(
             qmodel, dataset, paged, system.driver, seed=scale.seed
         )
@@ -401,6 +406,58 @@ def run_pta(scale: Scale | None = None) -> dict:
         "chance_accuracy": 100.0 / dataset.num_classes,
         "curves": curves,
         "stats": stats,
+    }
+
+
+# ----------------------------------------------------------------------
+# Registry-driven attack scenarios (the attack x defense matrix)
+# ----------------------------------------------------------------------
+def run_attack_scenario(
+    scale: Scale | None = None,
+    attack: str = "bfa",
+    arch: str = "resnet20",
+    protected: bool = True,
+    in_dram: bool = True,
+    iterations: int | None = None,
+    **attack_params,
+) -> dict:
+    """One cell of the attack x defense matrix, dispatched by name.
+
+    Any attack registered with :func:`repro.attacks.register_attack`
+    runs here: the victim comes out of the trained-victim cache, lands
+    in simulated DRAM (unless ``in_dram=False``, the pure software
+    ablation), optionally behind DRAM-Locker, and the attack executes
+    through the registry's uniform ``run_attack`` entry point.
+    """
+    scale = scale or Scale.quick()
+    dataset, qmodel = build_victim(arch, scale)
+    clean = qmodel.model.accuracy(dataset.test_x, dataset.test_y)
+    snapshot = qmodel.snapshot()
+    ctx = AttackContext(
+        qmodel,
+        dataset,
+        seed=scale.seed,
+        attack_batch=scale.attack_batch,
+    )
+    if in_dram:
+        system = build_system(qmodel, protected=protected, seed=scale.seed)
+        ctx.store = system.store
+        ctx.driver = system.driver
+        if protected:
+            ctx.before_execute = _background_tenant_hook(system)
+    elif protected:
+        raise ValueError("protected=True requires in_dram=True")
+    outcome = run_attack(
+        attack, ctx, iterations or scale.attack_iterations, **attack_params
+    )
+    qmodel.restore(snapshot)
+    return {
+        "arch": arch,
+        "protected": protected,
+        "in_dram": in_dram,
+        "clean_accuracy": clean,
+        "chance_accuracy": 100.0 / dataset.num_classes,
+        **outcome,
     }
 
 

@@ -50,12 +50,14 @@ from ..defenses import (
     Shadow,
     TWiCE,
 )
+from ..attacks import available_attacks
 from ..dram.config import DRAMConfig
 from ..dram.device import DRAMDevice
 from ..dram.vulnerability import VulnerabilityMap
 from ..locker.locker import DRAMLocker, LockerConfig
 from .experiments import (
     Scale,
+    run_attack_scenario,
     run_fig1a,
     run_fig1b,
     run_fig5,
@@ -76,9 +78,11 @@ __all__ = [
     "Scenario",
     "ScenarioResult",
     "MatrixResult",
+    "MatrixFailure",
     "derive_seed",
     "run_scenario",
     "run_matrix",
+    "attack_scenarios",
     "cheap_scenarios",
     "smoke_scenarios",
     "quick_scenarios",
@@ -140,6 +144,20 @@ class ScenarioResult:
     @property
     def ok(self) -> bool:
         return self.error is None
+
+
+class MatrixFailure(RuntimeError):
+    """Raised by ``run_matrix(strict=True)`` when any scenario failed."""
+
+    def __init__(self, failures: "list[ScenarioResult]"):
+        self.failures = failures
+        names = ", ".join(result.name for result in failures)
+        super().__init__(
+            f"{len(failures)} scenario(s) failed: {names}\n\n"
+            + "\n\n".join(
+                f"--- {result.name} ---\n{result.error}" for result in failures
+            )
+        )
 
 
 @dataclass
@@ -344,7 +362,12 @@ def _run_defense_campaign(
     }
 
 
+def _run_attack(scale: Scale, seed: int, **params) -> dict:
+    return run_attack_scenario(scale=_seeded(scale, seed), **params)
+
+
 SCENARIO_RUNNERS: dict[str, Callable[..., dict]] = {
+    "attack": _run_attack,
     "fig1a": _run_fig1a,
     "fig1b": lambda scale, seed: {"rows": run_fig1b()},
     "fig5": lambda scale, seed: run_fig5(),
@@ -409,6 +432,7 @@ def run_matrix(
     base_seed: int = 0,
     tag: str = "matrix",
     artifact_dir: str | None = None,
+    strict: bool = False,
 ) -> MatrixResult:
     """Run a scenario matrix, optionally in parallel, and collect one
     :class:`MatrixResult`.
@@ -418,6 +442,11 @@ def run_matrix(
     tests and for composing with an outer parallel harness).  Results
     are returned in scenario order regardless of completion order, and
     the ``results`` payloads are independent of the worker count.
+
+    ``strict=True`` raises :class:`MatrixFailure` after the artifact is
+    written when any scenario errored -- for callers (benchmark
+    recorders, CI steps) where a half-failed matrix must not pass
+    silently as a recorded artifact.
     """
     scenarios = list(scenarios)
     names = [scenario.name for scenario in scenarios]
@@ -447,6 +476,8 @@ def run_matrix(
     )
     if artifact_dir is not None:
         matrix.write_artifact(artifact_dir)
+    if strict and matrix.failures:
+        raise MatrixFailure(matrix.failures)
     return matrix
 
 
@@ -505,10 +536,64 @@ def quick_scenarios(scale: Scale | None = None) -> list[Scenario]:
     ]
 
 
+#: Attack-specific parameter overrides for the canned attack matrix.
+#: ``iterations`` keeps one flip-budget across families so the matrix
+#: compares like with like; targeted attacks aim class 1 -> 0.
+_ATTACK_MATRIX_PARAMS: dict[str, tuple[tuple[str, Any], ...]] = {
+    "bfa": (),
+    "random": (),
+    "pta": (("iterations", 6),),
+    "tbfa-n-to-1": (("target_class", 0),),
+    "tbfa-1-to-1": (("target_class", 0), ("source_class", 1)),
+    "tbfa-stealthy": (("target_class", 0), ("source_class", 1)),
+    "backdoor": (("target_class", 0),),
+    "multi-round-bfa": (("rounds", 3),),
+}
+
+
+def attack_scenarios(
+    scale: Scale | None = None,
+    arch: str = "resnet20",
+    iterations: int = 10,
+    attacks: Sequence[str] | None = None,
+) -> list[Scenario]:
+    """Every registered attack, with and without DRAM-Locker.
+
+    All scenarios pin ``seed=0`` so they share one trained victim --
+    the matrix is the showcase (and the benchmark) for the
+    trained-victim cache: N attack cells, one training run.
+    """
+    scale = scale or Scale.quick()
+    names = list(attacks) if attacks is not None else available_attacks()
+    scenarios = []
+    for name in names:
+        extra = _ATTACK_MATRIX_PARAMS.get(name, ())
+        if not any(key == "iterations" for key, _ in extra):
+            extra = (("iterations", iterations),) + extra
+        for protected in (False, True):
+            suffix = "locked" if protected else "open"
+            scenarios.append(
+                Scenario(
+                    f"attack-{name}-{suffix}",
+                    "attack",
+                    scale,
+                    seed=0,
+                    params=(
+                        ("attack", name),
+                        ("arch", arch),
+                        ("protected", protected),
+                    )
+                    + extra,
+                )
+            )
+    return scenarios
+
+
 _SCENARIO_SETS = {
     "cheap": cheap_scenarios,
     "smoke": smoke_scenarios,
     "quick": quick_scenarios,
+    "attacks": attack_scenarios,
 }
 
 

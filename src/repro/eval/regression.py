@@ -1,0 +1,120 @@
+"""Benchmark-regression checks over BENCH_*.json artifacts.
+
+The nightly CI job replays a harness matrix and compares the fresh
+artifact against a committed baseline: the build fails when wall-clock
+runtime or any *protected* accuracy (the quantity DRAM-Locker exists to
+preserve) regresses beyond tolerance.  The comparison logic lives here
+so it is unit-testable; ``benchmarks/check_regression.py`` is the thin
+CLI the workflow invokes.
+
+What counts as a protected accuracy:
+
+* ``attack`` scenarios with ``"protected": true`` -> ``final_accuracy``;
+* figure runners with per-defense curves -> the final accuracy recorded
+  under ``stats["with DRAM-Locker"]``;
+* everything else contributes no accuracy check (runtime still counts).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "RegressionReport",
+    "protected_accuracies",
+    "compare_artifacts",
+    "load_artifact",
+]
+
+LOCKED_LABEL = "with DRAM-Locker"
+
+
+def load_artifact(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def protected_accuracies(artifact: dict) -> dict[str, float]:
+    """Every protected-accuracy metric an artifact carries, by name."""
+    metrics: dict[str, float] = {}
+    for name, payload in artifact.get("results", {}).items():
+        if not isinstance(payload, dict) or "error" in payload:
+            continue
+        if payload.get("protected") and payload.get("final_accuracy") is not None:
+            metrics[name] = float(payload["final_accuracy"])
+            continue
+        stats = payload.get("stats")
+        if isinstance(stats, dict) and LOCKED_LABEL in stats:
+            locked = stats[LOCKED_LABEL]
+            if isinstance(locked, dict) and "final_accuracy" in locked:
+                metrics[name] = float(locked["final_accuracy"])
+    return metrics
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of one artifact-vs-baseline comparison."""
+
+    violations: list[str] = field(default_factory=list)
+    checks: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        lines = [f"{len(self.checks)} check(s), {len(self.violations)} violation(s)"]
+        lines += [f"  ok: {check}" for check in self.checks]
+        lines += [f"  REGRESSION: {violation}" for violation in self.violations]
+        return "\n".join(lines)
+
+
+def compare_artifacts(
+    current: dict,
+    baseline: dict,
+    runtime_tolerance: float = 0.10,
+    accuracy_tolerance: float = 0.10,
+) -> RegressionReport:
+    """Fail when runtime grew or protected accuracy shrank by more than
+    the given fractional tolerances relative to the baseline."""
+    report = RegressionReport()
+
+    for payload_name, payload in current.get("results", {}).items():
+        if isinstance(payload, dict) and "error" in payload:
+            report.violations.append(
+                f"scenario {payload_name!r} failed: "
+                f"{str(payload['error']).splitlines()[-1]}"
+            )
+
+    base_total = baseline.get("timing", {}).get("total_s")
+    cur_total = current.get("timing", {}).get("total_s")
+    if base_total and cur_total is not None:
+        limit = base_total * (1.0 + runtime_tolerance)
+        check = (
+            f"runtime {cur_total:.2f}s vs baseline {base_total:.2f}s "
+            f"(limit {limit:.2f}s)"
+        )
+        if cur_total > limit:
+            report.violations.append(check)
+        else:
+            report.checks.append(check)
+
+    base_acc = protected_accuracies(baseline)
+    cur_acc = protected_accuracies(current)
+    for name, base_value in sorted(base_acc.items()):
+        if name not in cur_acc:
+            report.violations.append(
+                f"protected accuracy for {name!r} missing from current artifact"
+            )
+            continue
+        floor = base_value * (1.0 - accuracy_tolerance)
+        check = (
+            f"{name}: protected accuracy {cur_acc[name]:.2f}% vs baseline "
+            f"{base_value:.2f}% (floor {floor:.2f}%)"
+        )
+        if cur_acc[name] < floor:
+            report.violations.append(check)
+        else:
+            report.checks.append(check)
+    return report

@@ -1,5 +1,14 @@
 """NumPy DNN stack: layers, models, quantization, data, hardening."""
 
+from .cache import (
+    VictimCache,
+    cached_train,
+    dataset_fingerprint,
+    hash_arrays,
+    load_model_state,
+    model_state,
+    victim_spec,
+)
 from .data import Dataset, make_dataset, synthetic_cifar10, synthetic_cifar100
 from .functional import cross_entropy, cross_entropy_grad, softmax
 from .hardening import (
@@ -51,13 +60,20 @@ __all__ = [
     "TABLE2_BUILDERS",
     "TrainConfig",
     "TrainResult",
+    "VictimCache",
     "WeightStore",
+    "cached_train",
     "cross_entropy",
     "cross_entropy_grad",
+    "dataset_fingerprint",
+    "hash_arrays",
     "iter_layers",
+    "load_model_state",
     "make_dataset",
+    "model_state",
     "named_parameters",
     "resnet20",
+    "victim_spec",
     "softmax",
     "synthetic_cifar10",
     "synthetic_cifar100",

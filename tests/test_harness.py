@@ -4,10 +4,19 @@ import json
 
 import pytest
 
-from repro.eval import Scale, Scenario, derive_seed, run_matrix, run_scenario
+from repro.attacks import available_attacks
+from repro.eval import (
+    MatrixFailure,
+    Scale,
+    Scenario,
+    derive_seed,
+    run_matrix,
+    run_scenario,
+)
 from repro.eval.harness import (
     DEFENSE_BUILDERS,
     SCENARIO_RUNNERS,
+    attack_scenarios,
     cheap_scenarios,
     quick_scenarios,
     smoke_scenarios,
@@ -108,10 +117,32 @@ class TestRunMatrix:
         assert len(matrix.failures) == 1
         assert matrix["rowclone"].ok
 
+    def test_strict_raises_on_failure(self, tmp_path):
+        scenarios = [
+            TINY_MATRIX[1],
+            Scenario("bad", "fig8", QUICK, params=(("arch", "nope"),)),
+        ]
+        with pytest.raises(MatrixFailure, match="bad"):
+            run_matrix(
+                scenarios, workers=1, tag="strict",
+                artifact_dir=str(tmp_path), strict=True,
+            )
+        # The artifact is still written (failures are recorded, not lost).
+        assert (tmp_path / "BENCH_strict.json").exists()
+
+    def test_strict_passes_clean_matrix(self):
+        matrix = run_matrix([TINY_MATRIX[1]], workers=1, strict=True)
+        assert not matrix.failures
+
 
 class TestCannedSets:
     def test_sets_are_well_formed(self):
-        for scenarios in (cheap_scenarios(), smoke_scenarios(), quick_scenarios()):
+        for scenarios in (
+            cheap_scenarios(),
+            smoke_scenarios(),
+            quick_scenarios(),
+            attack_scenarios(),
+        ):
             names = [s.name for s in scenarios]
             assert len(set(names)) == len(names)
             for scenario in scenarios:
@@ -124,6 +155,59 @@ class TestCannedSets:
 
     def test_defense_builders_cover_locker(self):
         assert "DRAM-Locker" in DEFENSE_BUILDERS
+
+    def test_attack_set_covers_every_registered_attack(self):
+        """Register an attack, and the matrix picks it up -- both sides
+        of the defense axis, all sharing one victim seed (the cache)."""
+        scenarios = attack_scenarios()
+        covered = {dict(s.params)["attack"] for s in scenarios}
+        assert covered == set(available_attacks())
+        assert all(s.seed == 0 for s in scenarios)
+        for name in available_attacks():
+            variants = {
+                dict(s.params)["protected"]
+                for s in scenarios
+                if dict(s.params)["attack"] == name
+            }
+            assert variants == {False, True}
+
+
+class TestMatrixCLIExitCodes:
+    """`python -m repro.eval matrix` must fail loudly, not just record
+    scenario errors in the artifact."""
+
+    def _with_bad_set(self, monkeypatch):
+        from repro.eval import harness
+
+        bad = [Scenario("boom", "fig8", QUICK, params=(("arch", "nope"),))]
+        monkeypatch.setitem(harness._SCENARIO_SETS, "bad", lambda scale: bad)
+
+    def test_harness_cli_nonzero_on_failure(self, monkeypatch, capsys, tmp_path):
+        from repro.eval.harness import main as harness_main
+
+        self._with_bad_set(monkeypatch)
+        rc = harness_main(
+            ["--set", "bad", "--workers", "1", "--out", str(tmp_path)]
+        )
+        assert rc != 0
+        out = capsys.readouterr().out
+        assert "FAILED" in out and "boom" in out
+        # The artifact still records the failure for post-mortems.
+        artifact = json.loads((tmp_path / "BENCH_bad.json").read_text())
+        assert "error" in artifact["results"]["boom"]
+
+    def test_eval_main_propagates_matrix_exit(self, monkeypatch, capsys):
+        from repro.eval.__main__ import main as eval_main
+
+        self._with_bad_set(monkeypatch)
+        assert eval_main(["matrix", "--set", "bad", "--workers", "1"]) != 0
+
+    def test_harness_cli_zero_on_success(self, monkeypatch, capsys):
+        from repro.eval import harness
+
+        good = [TINY_MATRIX[1]]
+        monkeypatch.setitem(harness._SCENARIO_SETS, "good", lambda scale: good)
+        assert harness.main(["--set", "good", "--workers", "1"]) == 0
 
 
 class TestCampaignRunner:

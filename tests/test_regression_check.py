@@ -1,0 +1,102 @@
+"""The benchmark-regression comparison behind the nightly CI gate."""
+
+import json
+
+from repro.eval.regression import (
+    compare_artifacts,
+    load_artifact,
+    protected_accuracies,
+)
+
+
+def artifact(total_s=10.0, results=None):
+    return {
+        "schema": "dram-locker-bench/1",
+        "results": results or {},
+        "timing": {"total_s": total_s},
+    }
+
+
+LOCKED_ATTACK = {"protected": True, "final_accuracy": 90.0}
+OPEN_ATTACK = {"protected": False, "final_accuracy": 12.0}
+FIG8 = {"stats": {"with DRAM-Locker": {"final_accuracy": 88.0},
+                  "without DRAM-Locker": {"final_accuracy": 11.0}}}
+
+
+class TestProtectedAccuracies:
+    def test_extracts_attack_and_curve_payloads(self):
+        doc = artifact(results={
+            "a-locked": LOCKED_ATTACK,
+            "a-open": OPEN_ATTACK,
+            "fig8": FIG8,
+            "cheap": {"rows": [1, 2]},
+        })
+        assert protected_accuracies(doc) == {"a-locked": 90.0, "fig8": 88.0}
+
+    def test_skips_errored_scenarios(self):
+        doc = artifact(results={"bad": {"error": "Traceback ..."}})
+        assert protected_accuracies(doc) == {}
+
+
+class TestCompare:
+    def test_clean_comparison_passes(self):
+        base = artifact(10.0, {"a-locked": LOCKED_ATTACK})
+        cur = artifact(10.5, {"a-locked": dict(LOCKED_ATTACK)})
+        report = compare_artifacts(cur, base)
+        assert report.ok
+        assert len(report.checks) == 2  # runtime + one accuracy
+
+    def test_runtime_regression_fails(self):
+        report = compare_artifacts(artifact(12.0), artifact(10.0))
+        assert not report.ok
+        assert "runtime" in report.violations[0]
+
+    def test_runtime_within_tolerance_passes(self):
+        assert compare_artifacts(artifact(10.9), artifact(10.0)).ok
+        assert not compare_artifacts(
+            artifact(10.9), artifact(10.0), runtime_tolerance=0.05
+        ).ok
+
+    def test_protected_accuracy_drop_fails(self):
+        base = artifact(10.0, {"a-locked": {"protected": True,
+                                            "final_accuracy": 90.0}})
+        cur = artifact(10.0, {"a-locked": {"protected": True,
+                                           "final_accuracy": 70.0}})
+        report = compare_artifacts(cur, base)
+        assert not report.ok
+        assert "a-locked" in report.violations[0]
+
+    def test_unprotected_accuracy_is_not_gated(self):
+        """The attack is SUPPOSED to wreck the open victim; only the
+        protected accuracy is a regression signal."""
+        base = artifact(10.0, {"a-open": {"protected": False,
+                                          "final_accuracy": 50.0}})
+        cur = artifact(10.0, {"a-open": {"protected": False,
+                                         "final_accuracy": 5.0}})
+        assert compare_artifacts(cur, base).ok
+
+    def test_missing_scenario_fails(self):
+        base = artifact(10.0, {"a-locked": LOCKED_ATTACK})
+        report = compare_artifacts(artifact(10.0), base)
+        assert not report.ok
+        assert "missing" in report.violations[0]
+
+    def test_errored_current_scenario_fails(self):
+        cur = artifact(10.0, {"x": {"error": "ValueError: nope"}})
+        report = compare_artifacts(cur, artifact(10.0))
+        assert not report.ok
+        assert "failed" in report.violations[0]
+
+    def test_summary_mentions_everything(self):
+        base = artifact(10.0, {"a-locked": LOCKED_ATTACK})
+        cur = artifact(20.0, {"a-locked": {"protected": True,
+                                           "final_accuracy": 10.0}})
+        summary = compare_artifacts(cur, base).summary()
+        assert "REGRESSION" in summary and "runtime" in summary
+
+
+class TestLoadArtifact:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps(artifact(3.0)))
+        assert load_artifact(str(path))["timing"]["total_s"] == 3.0

@@ -1,0 +1,199 @@
+"""The content-addressed trained-victim cache.
+
+The load-bearing property: a cache hit restores *bit-identical* state
+to a fresh train -- weights, BatchNorm buffers, and the quantized
+payload derived from them.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.eval import Scale
+from repro.eval.experiments import build_victim
+from repro.nn import (
+    QuantizedModel,
+    TrainConfig,
+    VictimCache,
+    cached_train,
+    load_model_state,
+    make_dataset,
+    model_state,
+    resnet20,
+    train,
+    victim_spec,
+)
+from repro.nn.cache import CACHE_ENV_VAR
+
+TINY = Scale(
+    input_hw=8, resnet_width=4, vgg_width=8, epochs=2,
+    attack_iterations=2, attack_batch=16, seed=0,
+)
+
+
+@pytest.fixture()
+def dataset():
+    return make_dataset("c", 4, hw=8, train_per_class=16, test_per_class=8, seed=5)
+
+
+def fresh_model():
+    return resnet20(num_classes=4, width=4, input_hw=8, seed=2)
+
+
+class TestState:
+    def test_state_includes_batchnorm_buffers(self, dataset):
+        model = fresh_model()
+        state = model_state(model)
+        assert any(key.startswith("param:") for key in state)
+        assert any(key.endswith(".running_mean") for key in state)
+        assert any(key.endswith(".running_var") for key in state)
+
+    def test_state_round_trip_is_exact(self, dataset):
+        model = fresh_model()
+        train(model, dataset, TrainConfig(epochs=2, seed=0))
+        state = {k: v.copy() for k, v in model_state(model).items()}
+        other = fresh_model()
+        load_model_state(other, state)
+        for key, value in model_state(other).items():
+            assert np.array_equal(value, state[key]), key
+
+    def test_mismatched_state_rejected(self, dataset):
+        model = fresh_model()
+        state = dict(model_state(model))
+        state.pop(next(iter(state)))
+        with pytest.raises(ValueError, match="does not match"):
+            load_model_state(fresh_model(), state)
+
+
+class TestKeys:
+    def test_key_changes_with_seed_and_config(self, dataset):
+        cache = VictimCache(directory=None, enabled=False)
+        a = cache.key_for(
+            victim_spec(fresh_model(), dataset, TrainConfig(seed=0))
+        )
+        b = cache.key_for(
+            victim_spec(fresh_model(), dataset, TrainConfig(seed=1))
+        )
+        c = cache.key_for(
+            victim_spec(fresh_model(), dataset, TrainConfig(seed=0, epochs=9))
+        )
+        d = cache.key_for(
+            victim_spec(
+                resnet20(num_classes=4, width=4, input_hw=8, seed=3),
+                dataset,
+                TrainConfig(seed=0),
+            )
+        )
+        assert len({a, b, c, d}) == 4
+        assert a == cache.key_for(
+            victim_spec(fresh_model(), dataset, TrainConfig(seed=0))
+        )
+
+    def test_hardening_participates_in_key(self, dataset):
+        cache = VictimCache(directory=None, enabled=False)
+        plain = cache.key_for(
+            victim_spec(fresh_model(), dataset, TrainConfig(seed=0))
+        )
+        hardened = cache.key_for(
+            victim_spec(
+                fresh_model(), dataset, TrainConfig(seed=0),
+                hardening={"kind": "clustering", "lam": 1e-3},
+            )
+        )
+        assert plain != hardened
+
+
+class TestCachedTrain:
+    def test_hit_is_bit_identical_to_fresh_train(self, dataset, tmp_path):
+        cache = VictimCache(directory=str(tmp_path))
+        config = TrainConfig(epochs=2, seed=0)
+
+        trained = fresh_model()
+        hit, history = cached_train(trained, dataset, config, cache=cache)
+        assert not hit and history is not None
+        assert cache.stats.stores == 1
+
+        restored = fresh_model()
+        hit, history = cached_train(restored, dataset, config, cache=cache)
+        assert hit and history is None
+        assert cache.stats.hits == 1
+
+        fresh = fresh_model()
+        train(fresh, dataset, config)
+
+        reference = model_state(fresh)
+        for name, other in (("cached-store", trained), ("cached-hit", restored)):
+            state = model_state(other)
+            for key, value in reference.items():
+                assert np.array_equal(state[key], value), f"{name}:{key}"
+        # And the derived quantized payloads match bit for bit.
+        q_fresh = QuantizedModel(fresh)
+        q_restored = QuantizedModel(restored)
+        for key in q_fresh.tensors:
+            assert np.array_equal(q_fresh.tensors[key].q, q_restored.tensors[key].q)
+            assert q_fresh.tensors[key].scale == q_restored.tensors[key].scale
+
+    def test_corrupted_entry_is_a_miss(self, dataset, tmp_path):
+        cache = VictimCache(directory=str(tmp_path))
+        config = TrainConfig(epochs=1, seed=0)
+        model = fresh_model()
+        cached_train(model, dataset, config, cache=cache)
+        key = cache.key_for(victim_spec(fresh_model(), dataset, config))
+        with open(cache.path_for(key), "wb") as handle:
+            handle.write(b"not an npz")
+        hit, _ = cached_train(fresh_model(), dataset, config, cache=cache)
+        assert not hit
+        assert cache.stats.stores == 2  # rewrote the entry
+
+    def test_disabled_cache_always_trains(self, dataset):
+        cache = VictimCache.disabled()
+        hit, history = cached_train(
+            fresh_model(), dataset, TrainConfig(epochs=1, seed=0), cache=cache
+        )
+        assert not hit and history is not None
+        assert cache.stats.stores == 0
+
+    def test_grad_hook_requires_hardening_descriptor(self, dataset):
+        with pytest.raises(ValueError, match="hardening"):
+            cached_train(
+                fresh_model(), dataset, TrainConfig(epochs=1),
+                cache=VictimCache.disabled(), grad_hook=lambda model: None,
+            )
+
+
+class TestEnvResolution:
+    def test_env_disables(self, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, "off")
+        assert not VictimCache.from_env().enabled
+
+    def test_env_directory(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "victims"))
+        cache = VictimCache.from_env()
+        assert cache.enabled
+        assert cache.directory == str(tmp_path / "victims")
+
+    def test_default_is_home_cache(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        cache = VictimCache.from_env()
+        assert cache.enabled
+        assert os.path.join(".cache", "dram-locker") in cache.directory
+
+
+class TestBuildVictimIntegration:
+    def test_build_victim_uses_cache(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+        _, first = build_victim("resnet20", TINY)
+        _, second = build_victim("resnet20", TINY)
+        for name in first.tensors:
+            assert np.array_equal(first.tensors[name].q, second.tensors[name].q)
+        assert any(entry.startswith("victim-") for entry in os.listdir(tmp_path))
+
+    def test_build_victim_matches_uncached(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+        _, cached = build_victim("resnet20", TINY)
+        _, uncached = build_victim(
+            "resnet20", TINY, cache=VictimCache.disabled()
+        )
+        for name in cached.tensors:
+            assert np.array_equal(cached.tensors[name].q, uncached.tensors[name].q)
