@@ -25,7 +25,7 @@ import time
 
 from repro.eval import Scale, run_matrix
 from repro.eval.harness import attack_scenarios
-from repro.nn.cache import CACHE_ENV_VAR
+from repro.nn.cache import CACHE_ENV_VAR, MEMORY_ENV_VAR
 
 ARTIFACT = "BENCH_victim_cache.json"
 
@@ -52,8 +52,13 @@ def main(argv: list[str] | None = None) -> int:
     print(f"{len(scenarios)} attack scenarios, one shared victim")
 
     previous = os.environ.get(CACHE_ENV_VAR)
+    previous_memory = os.environ.get(MEMORY_ENV_VAR)
     with tempfile.TemporaryDirectory(prefix="victim-cache-bench-") as cache_dir:
         try:
+            # This benchmark times the *disk* cache; the in-process
+            # memory layer would serve every repeat lookup from RAM
+            # and make the cold/warm legs measure the wrong thing.
+            os.environ[MEMORY_ENV_VAR] = "off"
             os.environ[CACHE_ENV_VAR] = "off"
             off_s, off_results = _timed_matrix(scenarios, "cache-off")
             print(f"cache off : {off_s:7.2f}s")
@@ -65,10 +70,14 @@ def main(argv: list[str] | None = None) -> int:
             warm_s, warm_results = _timed_matrix(scenarios, "cache-warm")
             print(f"cache warm: {warm_s:7.2f}s ({off_s / warm_s:.2f}x)")
         finally:
-            if previous is None:
-                os.environ.pop(CACHE_ENV_VAR, None)
-            else:
-                os.environ[CACHE_ENV_VAR] = previous
+            for variable, old in (
+                (CACHE_ENV_VAR, previous),
+                (MEMORY_ENV_VAR, previous_memory),
+            ):
+                if old is None:
+                    os.environ.pop(variable, None)
+                else:
+                    os.environ[variable] = old
 
     identical = off_results == cold_results == warm_results
     print(f"results bit-identical across cache modes: {identical}")

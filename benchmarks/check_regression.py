@@ -7,16 +7,24 @@ Usage::
 
 Exits nonzero when the current artifact's runtime or any protected
 accuracy regresses beyond tolerance versus the committed baseline (see
-:mod:`repro.eval.regression` for what is compared).  Refresh a baseline
-by copying a trusted run's artifact over the ``*_baseline.json`` file
-under ``benchmarks/artifacts/`` -- regenerate it on the same runner
-class the workflow uses, since wall-clock baselines do not transfer
-between machines.
+:mod:`repro.eval.regression` for what is compared).  Attack-search
+microbenchmark artifacts (``bench_attack_search.py``) are detected by
+schema and gated on engine equivalence plus per-family speedup
+*ratios* instead, which do transfer across runner classes.  Refresh a
+baseline by copying a trusted run's artifact over the
+``*_baseline.json`` file under ``benchmarks/artifacts/`` -- regenerate
+harness baselines on the same runner class the workflow uses, since
+wall-clock baselines do not transfer between machines.
 """
 
 import argparse
 
-from repro.eval.regression import compare_artifacts, load_artifact
+from repro.eval.regression import (
+    ATTACK_SEARCH_SCHEMA,
+    compare_artifacts,
+    compare_attack_search,
+    load_artifact,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -25,14 +33,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("baseline", help="committed baseline artifact")
     parser.add_argument("--runtime-tolerance", type=float, default=0.10)
     parser.add_argument("--accuracy-tolerance", type=float, default=0.10)
+    parser.add_argument("--speedup-tolerance", type=float, default=0.25)
     args = parser.parse_args(argv)
 
-    report = compare_artifacts(
-        load_artifact(args.current),
-        load_artifact(args.baseline),
-        runtime_tolerance=args.runtime_tolerance,
-        accuracy_tolerance=args.accuracy_tolerance,
-    )
+    current = load_artifact(args.current)
+    baseline = load_artifact(args.baseline)
+    if current.get("schema") == ATTACK_SEARCH_SCHEMA:
+        report = compare_attack_search(
+            current, baseline, speedup_tolerance=args.speedup_tolerance
+        )
+    else:
+        report = compare_artifacts(
+            current,
+            baseline,
+            runtime_tolerance=args.runtime_tolerance,
+            accuracy_tolerance=args.accuracy_tolerance,
+        )
     print(report.summary())
     return 0 if report.ok else 1
 

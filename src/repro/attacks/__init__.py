@@ -20,6 +20,7 @@ from .registry import (
     register_attack,
     run_attack,
 )
+from .session import SEARCH_ENGINES, SearchSession, SearchTerm, SessionStats
 from .tbfa import (
     CETerm,
     TBFAConfig,
@@ -52,6 +53,10 @@ __all__ = [
     "ProgressiveBitSearch",
     "RandomAttack",
     "RowhammerBackdoor",
+    "SEARCH_ENGINES",
+    "SearchSession",
+    "SearchTerm",
+    "SessionStats",
     "TBFAConfig",
     "TBFAResult",
     "TBFAttack",

@@ -65,6 +65,8 @@ class BackdoorConfig:
     layers_to_evaluate: int = 6
     eval_limit: int = 512
     stop_at_asr: float | None = None
+    #: Candidate-evaluation engine for the flip search ("suffix"/"full").
+    engine: str = "suffix"
     seed: int = 0
 
 
@@ -150,6 +152,7 @@ class RowhammerBackdoor:
             layers_to_evaluate=self.config.layers_to_evaluate,
             eval_limit=self.config.eval_limit,
             stop_at_asr=self.config.stop_at_asr,
+            engine=self.config.engine,
             seed=self.config.seed,
         )
         self.search = TargetedBitSearch(
@@ -218,6 +221,7 @@ class RowhammerBackdoor:
     targeted=True,
 )
 def _backdoor(ctx: AttackContext, **params) -> RowhammerBackdoor:
+    params.setdefault("engine", ctx.engine)
     config = BackdoorConfig(
         attack_batch=ctx.attack_batch, seed=ctx.seed, **params
     )

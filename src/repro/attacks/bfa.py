@@ -10,8 +10,10 @@ Per iteration:
    two's-complement int8 arithmetic -- MSB flips move a weight by half
    the dynamic range);
 3. evaluate the best candidate of each of the most promising layers
-   with a real forward pass (flip, measure, revert) and commit the one
-   that maximises the loss;
+   with a real forward pass (flip, measure, revert -- executed through
+   the shared :class:`~repro.attacks.session.SearchSession`, which
+   recomputes only the layers downstream of each candidate) and commit
+   the one that maximises the loss;
 4. execute the committed flip -- either directly on the quantized
    payload (pure software ablation) or *through the DRAM simulator*
    via a RowHammer campaign against the weight store.
@@ -32,6 +34,7 @@ from ..nn.quant import QuantizedModel
 from ..nn.storage import WeightStore
 from .hammer import HammerDriver, execute_weight_flip
 from .registry import AttackContext, register_attack
+from .session import SearchSession, SearchTerm
 
 __all__ = [
     "BFAConfig",
@@ -68,6 +71,10 @@ class BFAConfig:
     layers_to_evaluate: int = 6
     #: Cap on test images used for the per-iteration accuracy probe.
     eval_limit: int = 512
+    #: Candidate-evaluation engine: "suffix" (activation-cached, the
+    #: default) or "full" (the per-candidate full-forward reference).
+    #: Outcomes are bit-identical; only wall-clock differs.
+    engine: str = "suffix"
     seed: int = 0
 
 
@@ -138,6 +145,14 @@ class ProgressiveBitSearch:
         rng = np.random.default_rng(self.config.seed)
         batch = min(self.config.attack_batch, dataset.test_x.shape[0])
         self.attack_x, self.attack_y = dataset.sample_attack_batch(batch, rng)
+        #: The search objective as the shared engine sees it.
+        self.terms = (SearchTerm(self.attack_x, self.attack_y),)
+        self.session = SearchSession(qmodel, engine=self.config.engine)
+        # Slice the accuracy-probe subset once; re-slicing it every
+        # iteration bought nothing (the arrays never change).
+        limit = self.config.eval_limit
+        self.eval_x = dataset.test_x[:limit]
+        self.eval_y = dataset.test_y[:limit]
         # Progressive search never revisits a bit: flipping one back
         # would just undo progress (and oscillate).
         self._visited: set[tuple[str, int, int]] = set()
@@ -147,14 +162,11 @@ class ProgressiveBitSearch:
     # ------------------------------------------------------------------
     def _rank_candidates(self) -> list[tuple[float, str, int, int]]:
         """Best (estimated dloss, tensor, index, bit) per layer, sorted."""
-        model = self.qmodel.model
-        model.zero_grad()
-        model.loss_and_grad(self.attack_x, self.attack_y)
-        layers = model.weight_layers()
+        grads = self.session.objective_grads(self.terms)
         per_layer: list[tuple[float, str, int, int]] = []
         k = self.config.candidates_per_layer
         for name, tensor in self.qmodel.tensors.items():
-            grad = layers[name].weight.grad.reshape(-1)
+            grad = grads[name]
             if grad.size == 0:
                 continue
             top = np.argsort(np.abs(grad))[-k:]
@@ -177,18 +189,18 @@ class ProgressiveBitSearch:
         return per_layer
 
     def _choose_flip(self) -> tuple[str, int, int, float]:
-        """Real-forward-pass evaluation of the top per-layer candidates."""
+        """Real-forward-pass evaluation of the top per-layer candidates
+        (suffix-cached and same-layer-batched through the session)."""
         candidates = self._rank_candidates()[: self.config.layers_to_evaluate]
+        losses = self.session.evaluate_flips(
+            self.terms, [(name, index, bit) for _, name, index, bit in candidates]
+        )
         best = None
-        for _, name, index, bit in candidates:
-            self.qmodel.flip_bit(name, index, bit)
-            loss = self.qmodel.model.loss(self.attack_x, self.attack_y)
-            self.qmodel.flip_bit(name, index, bit)  # revert
+        for (_, name, index, bit), loss in zip(candidates, losses):
             if best is None or loss > best[3]:
                 best = (name, index, bit, loss)
         if best is None:
             raise RuntimeError("no flip candidates found")
-        self.qmodel.load_into_model()
         return best
 
     # ------------------------------------------------------------------
@@ -209,11 +221,8 @@ class ProgressiveBitSearch:
                 self.store.sync_model()
             if self.repair is not None:
                 self.repair(self.qmodel.model)
-            loss = self.qmodel.model.loss(self.attack_x, self.attack_y)
-            limit = self.config.eval_limit
-            accuracy = self.qmodel.model.accuracy(
-                self.dataset.test_x[:limit], self.dataset.test_y[:limit]
-            )
+            loss = self.session.objective(self.terms, key="loss")
+            accuracy = self.session.accuracy(self.eval_x, self.eval_y)
             result.flips.append(
                 FlipRecord(
                     iteration=iteration,
@@ -243,6 +252,7 @@ class ProgressiveBitSearch:
     description="Untargeted progressive bit search (Rakin et al. 2019)",
 )
 def _bfa(ctx: AttackContext, **params) -> ProgressiveBitSearch:
+    params.setdefault("engine", ctx.engine)
     config = BFAConfig(attack_batch=ctx.attack_batch, seed=ctx.seed, **params)
     return ProgressiveBitSearch(
         ctx.qmodel,

@@ -52,6 +52,8 @@ class MultiRoundConfig:
     evals_per_layer: int = 3
     layers_to_evaluate: int = 6
     eval_limit: int = 512
+    #: Candidate-evaluation engine of the inner search ("suffix"/"full").
+    engine: str = "suffix"
     seed: int = 0
 
 
@@ -95,6 +97,7 @@ class MultiRoundBFA:
             evals_per_layer=self.config.evals_per_layer,
             layers_to_evaluate=self.config.layers_to_evaluate,
             eval_limit=self.config.eval_limit,
+            engine=self.config.engine,
             seed=self.config.seed,
         )
         # The inner search supplies gradient ranking, flip execution and
@@ -130,11 +133,9 @@ class MultiRoundBFA:
         executed, blocked = self.search._execute_flip(name, index, bit)
         if self.store is not None:
             self.store.sync_model()
-        loss = self.qmodel.model.loss(self.search.attack_x, self.search.attack_y)
-        limit = self.config.eval_limit
-        accuracy = self.qmodel.model.accuracy(
-            self.dataset.test_x[:limit], self.dataset.test_y[:limit]
-        )
+        session = self.search.session
+        loss = session.objective(self.search.terms, key="loss")
+        accuracy = session.accuracy(self.search.eval_x, self.search.eval_y)
         return FlipRecord(
             iteration=iteration,
             tensor=name,
@@ -220,6 +221,7 @@ class MultiRoundBFA:
     ),
 )
 def _multi_round(ctx: AttackContext, **params) -> MultiRoundBFA:
+    params.setdefault("engine", ctx.engine)
     config = MultiRoundConfig(
         attack_batch=ctx.attack_batch, seed=ctx.seed, **params
     )

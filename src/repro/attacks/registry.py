@@ -58,7 +58,10 @@ class AttackContext:
     ``store``/``driver`` route flips through the DRAM simulator (both
     ``None`` means a pure software attack); ``before_execute`` is the
     tenant-traffic hook whose privileged accesses open DRAM-Locker's
-    unlock-SWAP windows.
+    unlock-SWAP windows.  ``engine`` selects the candidate-evaluation
+    engine for the bit-search families ("suffix" = activation-cached,
+    "full" = per-candidate full-forward reference); an explicit
+    ``engine=`` attack param overrides it per scenario.
     """
 
     qmodel: QuantizedModel
@@ -68,6 +71,7 @@ class AttackContext:
     before_execute: Callable[[str, int, int], None] | None = None
     seed: int = 0
     attack_batch: int = 64
+    engine: str = "suffix"
 
     @property
     def in_dram(self) -> bool:

@@ -15,10 +15,11 @@ it.  The paper defines three regimes, all reproduced here on top of one
 The engine minimises a weighted sum of cross-entropy terms
 (:class:`CETerm`): per iteration it ranks candidate weight bits by the
 analytic objective change ``grad * delta_w`` a flip would cause,
-evaluates the best few with real forward passes, and commits the flip
-that lowers the objective most -- executed either directly on the
-quantized payload or through the DRAM simulator via RowHammer, exactly
-like BFA.  An optional ``constraint`` predicate restricts the search to
+evaluates the best few with real forward passes (through the shared
+suffix-forward :class:`~repro.attacks.session.SearchSession`, like
+BFA), and commits the flip that lowers the objective most -- executed
+either directly on the quantized payload or through the DRAM simulator
+via RowHammer.  An optional ``constraint`` predicate restricts the search to
 physically hammerable bits (see :mod:`repro.attacks.backdoor`).
 """
 
@@ -35,6 +36,7 @@ from ..nn.storage import WeightStore
 from .bfa import flip_loss_estimates
 from .hammer import HammerDriver, execute_weight_flip
 from .registry import AttackContext, register_attack
+from .session import SearchSession
 
 __all__ = [
     "CETerm",
@@ -77,6 +79,9 @@ class TBFAConfig:
     stealth_weight: float = 1.0
     #: Stop once the attack success rate reaches this level (percent).
     stop_at_asr: float | None = None
+    #: Candidate-evaluation engine ("suffix" or the "full" reference);
+    #: bit-identical outcomes, different wall-clock.
+    engine: str = "suffix"
     seed: int = 0
 
 
@@ -148,38 +153,18 @@ class TargetedBitSearch:
         self.driver = driver
         self.before_execute = before_execute
         self.constraint = constraint
+        self.session = SearchSession(qmodel, engine=config.engine)
+        # Slice the accuracy-probe subset once (it never changes).
+        limit = config.eval_limit
+        self.eval_x = dataset.test_x[:limit]
+        self.eval_y = dataset.test_y[:limit]
         self._visited: set[tuple[str, int, int]] = set()
 
     # ------------------------------------------------------------------
     # Objective
     # ------------------------------------------------------------------
     def objective(self) -> float:
-        model = self.qmodel.model
-        return sum(
-            term.weight * model.loss(term.x, term.labels)
-            for term in self.terms
-        )
-
-    def _objective_grads(self) -> dict[str, np.ndarray]:
-        """d(objective)/d(weight) per quantized tensor."""
-        model = self.qmodel.model
-        layers = model.weight_layers()
-        grads: dict[str, np.ndarray] | None = None
-        for term in self.terms:
-            model.zero_grad()
-            model.loss_and_grad(term.x, term.labels)
-            if grads is None:
-                grads = {
-                    name: term.weight * layers[name].weight.grad.reshape(-1).copy()
-                    for name in self.qmodel.tensors
-                }
-            else:
-                for name in grads:
-                    grads[name] += (
-                        term.weight * layers[name].weight.grad.reshape(-1)
-                    )
-        assert grads is not None
-        return grads
+        return self.session.objective(self.terms)
 
     # ------------------------------------------------------------------
     # Candidate search (mirrors BFA's ranking, with the sign flipped:
@@ -197,7 +182,7 @@ class TargetedBitSearch:
         return self.constraint(name, index, bit, current)
 
     def _rank_candidates(self) -> list[tuple[float, str, int, int]]:
-        grads = self._objective_grads()
+        grads = self.session.objective_grads(self.terms)
         per_layer: list[tuple[float, str, int, int]] = []
         k = self.config.candidates_per_layer
         for name, tensor in self.qmodel.tensors.items():
@@ -225,14 +210,13 @@ class TargetedBitSearch:
 
     def _choose_flip(self) -> tuple[str, int, int, float] | None:
         candidates = self._rank_candidates()[: self.config.layers_to_evaluate]
+        objectives = self.session.evaluate_flips(
+            self.terms, [(name, index, bit) for _, name, index, bit in candidates]
+        )
         best = None
-        for _, name, index, bit in candidates:
-            self.qmodel.flip_bit(name, index, bit)
-            objective = self.objective()
-            self.qmodel.flip_bit(name, index, bit)  # revert
+        for (_, name, index, bit), objective in zip(candidates, objectives):
             if best is None or objective < best[3]:
                 best = (name, index, bit, objective)
-        self.qmodel.load_into_model()
         return best
 
     # ------------------------------------------------------------------
@@ -242,8 +226,7 @@ class TargetedBitSearch:
         """Percent of the ASR inputs classified as the target class."""
         if self.asr_inputs.shape[0] == 0:
             return 0.0
-        predictions = self.qmodel.model.predict(self.asr_inputs)
-        return float(100.0 * (predictions == self.asr_target).mean())
+        return self.session.success_rate(self.asr_inputs, self.asr_target)
 
     # ------------------------------------------------------------------
     # Attack loop
@@ -265,10 +248,7 @@ class TargetedBitSearch:
                 self.store.sync_model()
             objective = self.objective()
             asr = self.attack_success_rate()
-            limit = self.config.eval_limit
-            accuracy = self.qmodel.model.accuracy(
-                self.dataset.test_x[:limit], self.dataset.test_y[:limit]
-            )
+            accuracy = self.session.accuracy(self.eval_x, self.eval_y)
             result.flips.append(
                 TBFARecord(
                     iteration=iteration,
@@ -365,6 +345,7 @@ class TBFAttack(TargetedBitSearch):
 
 
 def _build_tbfa(variant: str, ctx: AttackContext, **params) -> TBFAttack:
+    params.setdefault("engine", ctx.engine)
     config = TBFAConfig(
         variant=variant,
         attack_batch=ctx.attack_batch,

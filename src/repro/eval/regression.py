@@ -21,13 +21,19 @@ import json
 from dataclasses import dataclass, field
 
 __all__ = [
+    "ATTACK_SEARCH_SCHEMA",
     "RegressionReport",
     "protected_accuracies",
     "compare_artifacts",
+    "compare_attack_search",
     "load_artifact",
 ]
 
 LOCKED_LABEL = "with DRAM-Locker"
+
+#: Schema tag of the attack-search microbenchmark artifact
+#: (``benchmarks/bench_attack_search.py``).
+ATTACK_SEARCH_SCHEMA = "dram-locker-attack-search-bench/1"
 
 
 def load_artifact(path: str) -> dict:
@@ -117,4 +123,51 @@ def compare_artifacts(
             report.violations.append(check)
         else:
             report.checks.append(check)
+    return report
+
+
+def compare_attack_search(
+    current: dict,
+    baseline: dict,
+    speedup_tolerance: float = 0.25,
+) -> RegressionReport:
+    """Regression gate for the attack-search microbenchmark artifact.
+
+    Two things must hold: the suffix engine still matches the
+    full-forward reference bit-for-bit in every recorded cell (a
+    correctness property, no tolerance), and each cell's *speedup
+    ratio* has not shrunk more than ``speedup_tolerance`` versus the
+    committed baseline.  Ratios -- unlike wall-clock seconds --
+    transfer across runner classes, so this check is meaningful even
+    when the absolute timings are not.
+    """
+    report = RegressionReport()
+    current_families = current.get("families", {})
+    for name, cell in sorted(current_families.items()):
+        if not cell.get("results_identical", False):
+            report.violations.append(
+                f"{name}: suffix engine diverged from the full-forward "
+                "reference"
+            )
+    for name, base_cell in sorted(baseline.get("families", {}).items()):
+        cell = current_families.get(name)
+        if cell is None:
+            report.violations.append(
+                f"family {name!r} missing from current artifact"
+            )
+            continue
+        floor = base_cell["speedup"] * (1.0 - speedup_tolerance)
+        check = (
+            f"{name}: speedup {cell['speedup']:.2f}x vs baseline "
+            f"{base_cell['speedup']:.2f}x (floor {floor:.2f}x)"
+        )
+        if cell["speedup"] < floor:
+            report.violations.append(check)
+        else:
+            report.checks.append(check)
+    pool = current.get("pool", {})
+    if pool and not pool.get("results_identical", True):
+        report.violations.append(
+            "persistent worker pool changed matrix results"
+        )
     return report

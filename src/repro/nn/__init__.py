@@ -33,7 +33,13 @@ from .layers import (
     ReLU,
     Sequential,
 )
-from .model import Model, iter_layers, named_parameters, weight_layers
+from .model import (
+    Model,
+    PrefixActivationCache,
+    iter_layers,
+    named_parameters,
+    weight_layers,
+)
 from .models import BasicBlock, resnet20, vgg11
 from .quant import QuantizedModel, QuantizedTensor
 from .storage import Segment, WeightStore
@@ -52,6 +58,7 @@ __all__ = [
     "MaxPool2d",
     "Model",
     "Parameter",
+    "PrefixActivationCache",
     "QuantizedModel",
     "QuantizedTensor",
     "ReLU",

@@ -323,6 +323,23 @@ class Sequential(Layer):
             x = layer.forward(x, training=training)
         return x
 
+    def forward_from(
+        self, x: np.ndarray, start: int, training: bool = False
+    ) -> np.ndarray:
+        """Suffix forward: run ``layers[start:]`` on ``x``, the input
+        activation of layer ``start``.  With ``x`` taken from a cached
+        full forward, the result is bit-identical to running the whole
+        network -- the prefix would recompute exactly those values.
+        ``start >= len(self.layers)`` returns ``x`` unchanged (the
+        "suffix" past the last layer is the identity on the logits)."""
+        if not 0 <= start <= len(self.layers):
+            raise IndexError(
+                f"suffix start {start} out of range 0..{len(self.layers)}"
+            )
+        for layer in self.layers[start:]:
+            x = layer.forward(x, training=training)
+        return x
+
     def backward(self, dy: np.ndarray) -> np.ndarray:
         for layer in reversed(self.layers):
             dy = layer.backward(dy)

@@ -7,9 +7,15 @@ from typing import Iterator
 import numpy as np
 
 from .functional import cross_entropy, cross_entropy_grad, softmax
-from .layers import Conv2d, Layer, Linear, Parameter
+from .layers import Conv2d, Layer, Linear, Parameter, Sequential
 
-__all__ = ["Model", "iter_layers", "named_parameters", "weight_layers"]
+__all__ = [
+    "Model",
+    "PrefixActivationCache",
+    "iter_layers",
+    "named_parameters",
+    "weight_layers",
+]
 
 
 def iter_layers(layer: Layer, prefix: str = "") -> Iterator[tuple[str, Layer]]:
@@ -38,6 +44,71 @@ def weight_layers(layer: Layer) -> dict[str, Layer]:
         for path, node in iter_layers(layer)
         if isinstance(node, (Conv2d, Linear))
     }
+
+
+class PrefixActivationCache:
+    """Per-layer input activations of one input batch through a
+    :class:`Sequential` net, in eval mode.
+
+    Entry ``i`` is the *input* of top-level layer ``i`` (entry ``0`` is
+    the input batch itself); entry ``len(layers)`` is the network
+    output (the logits).  Entries are filled lazily: :meth:`input_of`
+    runs the shortest missing prefix from the deepest cached entry, so
+    repeated suffix evaluations share one prefix computation.
+
+    The invalidation contract (pinned by ``tests/test_search_session``):
+    a weight mutation inside top-level layer ``k`` leaves the *inputs*
+    of layers ``0..k`` valid -- they are produced by layers ``< k`` --
+    and must drop every entry ``> k``.  :meth:`invalidate_from` does
+    exactly that.
+
+    Because eval-mode forwards are deterministic, every cached entry is
+    bitwise what a fresh full forward would produce, so losses computed
+    from :meth:`logits` are bit-identical to ``model.loss``.
+    """
+
+    def __init__(self, net: Sequential, x: np.ndarray):
+        if not isinstance(net, Sequential):
+            raise TypeError("activation caching requires a Sequential net")
+        self.net = net
+        self.x = x
+        self.depth = len(net.layers)
+        self._acts: dict[int, np.ndarray] = {0: x}
+
+    def cached_indices(self) -> list[int]:
+        """Currently valid entry indices (0 = the input batch)."""
+        return sorted(self._acts)
+
+    def input_of(self, k: int) -> np.ndarray:
+        """Input activation of top-level layer ``k`` (``k == depth``
+        yields the logits), computing and caching any missing prefix."""
+        if not 0 <= k <= self.depth:
+            raise IndexError(f"layer index {k} out of range 0..{self.depth}")
+        j = max(i for i in self._acts if i <= k)
+        a = self._acts[j]
+        while j < k:
+            a = self.net.layers[j].forward(a)
+            j += 1
+            self._acts[j] = a
+        return a
+
+    def logits(self) -> np.ndarray:
+        return self.input_of(self.depth)
+
+    def store(self, i: int, a: np.ndarray) -> None:
+        """Record the input of layer ``i`` observed during an external
+        full forward (the gradient pass doubles as a cache refill)."""
+        if not 0 <= i <= self.depth:
+            raise IndexError(f"layer index {i} out of range 0..{self.depth}")
+        self._acts[i] = a
+
+    def invalidate_from(self, k: int) -> None:
+        """A weight inside top-level layer ``k`` changed: drop every
+        activation downstream of it (entries ``> k``), keep the rest."""
+        self._acts = {i: a for i, a in self._acts.items() if i <= k}
+
+    def invalidate_all(self) -> None:
+        self._acts = {0: self.x}
 
 
 class Model:
@@ -97,3 +168,11 @@ class Model:
 
     def probabilities(self, x: np.ndarray) -> np.ndarray:
         return softmax(self.forward(x))
+
+    # ------------------------------------------------------------------
+    # Activation caching (the attack-search fast path)
+    # ------------------------------------------------------------------
+    def activation_cache(self, x: np.ndarray) -> PrefixActivationCache:
+        """A :class:`PrefixActivationCache` for one input batch; raises
+        ``TypeError`` for non-Sequential nets."""
+        return PrefixActivationCache(self.net, x)

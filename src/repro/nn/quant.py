@@ -66,6 +66,7 @@ class QuantizedModel:
             raise ValueError("only 8-bit quantization is implemented")
         self.model = model
         self.tensors: dict[str, QuantizedTensor] = {}
+        self._layer_cache: dict = {}
         self._quantize()
         self.load_into_model()
 
@@ -85,6 +86,20 @@ class QuantizedModel:
         layers = self.model.weight_layers()
         for path, tensor in self.tensors.items():
             layers[path].weight.value[...] = tensor.dequantize()
+
+    def sync_layer(self, name: str) -> None:
+        """Sync one layer's float weight to its dequantized payload.
+
+        When only ``name``'s payload changed, this is value-identical
+        to :meth:`load_into_model` (dequantization is deterministic, so
+        rewriting an unchanged tensor writes the same bytes) at a
+        fraction of the cost -- the candidate-evaluation hot path of
+        the attack-search engine flips one bit thousands of times."""
+        layer = self._layer_cache.get(name)
+        if layer is None:
+            self._layer_cache = self.model.weight_layers()
+            layer = self._layer_cache[name]
+        layer.weight.value[...] = self.tensors[name].dequantize()
 
     # ------------------------------------------------------------------
     # Bit-level access

@@ -231,3 +231,167 @@ class TestCampaignRunner:
         )
         assert result.ok
         assert result.payload["flipped"]
+
+
+class TestPersistentPoolAndProfiling:
+    def test_pool_persists_across_matrices(self):
+        from repro.eval import harness
+
+        harness.shutdown_worker_pool()
+        first = run_matrix(TINY_MATRIX, workers=2, tag="pp1")
+        assert first.pool_startup_s > 0.0
+        pool = harness._POOL_STATE["pool"]
+        assert pool is not None
+        second = run_matrix(TINY_MATRIX, workers=2, tag="pp2")
+        assert second.pool_startup_s == 0.0
+        assert harness._POOL_STATE["pool"] is pool
+        assert (
+            first.as_artifact()["results"] == second.as_artifact()["results"]
+        )
+        # A different worker count forces a rebuild.
+        third = run_matrix(TINY_MATRIX, workers=3, tag="pp3")
+        assert third.pool_startup_s > 0.0
+        assert harness._POOL_STATE["pool"] is not pool
+        harness.shutdown_worker_pool()
+
+    def test_serial_matrix_needs_no_pool(self):
+        from repro.eval import harness
+
+        harness.shutdown_worker_pool()
+        matrix = run_matrix(TINY_MATRIX[:2], workers=1, tag="serial")
+        assert matrix.pool_startup_s == 0.0
+        assert harness._POOL_STATE["pool"] is None
+
+    def test_prewarm_runs_in_parent_and_is_timed(self):
+        seen = []
+        matrix = run_matrix(
+            TINY_MATRIX[:2], workers=1, tag="warm",
+            prewarm=lambda: seen.append(True),
+        )
+        assert seen == [True]
+        assert matrix.prewarm_s >= 0.0
+        assert matrix.as_artifact()["timing"]["prewarm_s"] == matrix.prewarm_s
+
+    def test_profile_flag_dumps_pstats(self, tmp_path):
+        import pstats
+
+        matrix = run_matrix(
+            TINY_MATRIX[:2], workers=1, tag="prof",
+            artifact_dir=str(tmp_path), profile_dir=str(tmp_path),
+        )
+        assert not matrix.failures
+        for scenario in TINY_MATRIX[:2]:
+            path = tmp_path / f"profile_{scenario.name}.pstats"
+            assert path.exists()
+            stats = pstats.Stats(str(path))
+            assert stats.total_calls > 0
+
+    def test_profile_cli_requires_out(self, capsys):
+        from repro.eval.harness import main as harness_main
+
+        with pytest.raises(SystemExit):
+            harness_main(["--set", "cheap", "--profile"])
+        assert "--profile requires --out" in capsys.readouterr().err
+
+    def test_shared_memory_round_trip(self):
+        """The spawn-path shipping: exported victim arrays re-attach
+        bitwise through multiprocessing.shared_memory."""
+        import numpy as np
+
+        from repro.eval import harness
+        from repro.nn import cache as nncache
+
+        saved = nncache.memory_cache_entries()
+        nncache.memory_cache_clear()
+        try:
+            state = {
+                "param:w": np.arange(12, dtype=np.float32).reshape(3, 4),
+                "buffer:b": np.ones(5, dtype=np.float32),
+            }
+            nncache.memory_cache_put("/cache/dir", "deadbeef", state)
+            manifest, segments = harness._export_shared_victims()
+            nncache.memory_cache_clear()
+            try:
+                harness._attach_shared_victims(manifest, unregister=False)
+                entries = nncache.memory_cache_entries()
+                attached = entries[("/cache/dir", "deadbeef")]
+                assert set(attached) == set(state)
+                for name, value in state.items():
+                    assert np.array_equal(attached[name], value)
+            finally:
+                for segment in harness._ATTACHED_SEGMENTS:
+                    try:
+                        segment.close()
+                    except OSError:
+                        pass
+                harness._ATTACHED_SEGMENTS.clear()
+                for segment in segments:
+                    segment.close()
+                    segment.unlink()
+        finally:
+            nncache.memory_cache_clear()
+            for (directory, key), value in saved.items():
+                nncache.memory_cache_put(directory, key, value)
+
+    def test_memory_layer_serves_hits_without_disk(self, tmp_path):
+        from repro.nn import cache as nncache
+        from repro.nn.cache import VictimCache
+
+        saved = nncache.memory_cache_entries()
+        nncache.memory_cache_clear()
+        try:
+            import numpy as np
+
+            cache = VictimCache(directory=str(tmp_path), memory=True)
+            state = {"param:w": np.zeros(3, dtype=np.float32)}
+            cache.store("k", state)
+            path = cache.path_for("k")
+            assert (tmp_path / path.split("/")[-1]).exists()
+            # Remove the npz: the memory layer must still hit.
+            (tmp_path / path.split("/")[-1]).unlink()
+            assert cache.load("k") is not None
+            assert cache.stats.memory_hits == 1
+            # A memory-less cache on the same directory now misses.
+            cold = VictimCache(directory=str(tmp_path))
+            assert cold.load("k") is None
+        finally:
+            nncache.memory_cache_clear()
+            for (directory, key), value in saved.items():
+                nncache.memory_cache_put(directory, key, value)
+
+    def test_failed_dispatch_drops_poisoned_pool(self, monkeypatch):
+        from repro.eval import harness
+
+        harness.shutdown_worker_pool()
+
+        class PoisonedPool:
+            def map(self, fn, jobs):
+                raise RuntimeError("worker died")
+
+            def terminate(self):
+                pass
+
+            def join(self):
+                pass
+
+        harness._POOL_STATE.update(
+            pool=PoisonedPool(),
+            method="fork",
+            processes=2,
+            generation=harness._shareable_generation(),
+        )
+        with pytest.raises(RuntimeError, match="worker died"):
+            run_matrix(TINY_MATRIX, workers=2, tag="poison")
+        # The broken pool must not be reused by the next matrix.
+        assert harness._POOL_STATE["pool"] is None
+        recovered = run_matrix(TINY_MATRIX, workers=2, tag="recovered")
+        assert not recovered.failures
+        harness.shutdown_worker_pool()
+
+    def test_memory_env_knob_disables_memory_layer(self, monkeypatch, tmp_path):
+        from repro.nn.cache import CACHE_ENV_VAR, MEMORY_ENV_VAR, VictimCache
+
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+        assert VictimCache.from_env().memory
+        monkeypatch.setenv(MEMORY_ENV_VAR, "off")
+        assert not VictimCache.from_env().memory

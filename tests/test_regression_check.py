@@ -100,3 +100,99 @@ class TestLoadArtifact:
         path = tmp_path / "BENCH_x.json"
         path.write_text(json.dumps(artifact(3.0)))
         assert load_artifact(str(path))["timing"]["total_s"] == 3.0
+
+
+# ----------------------------------------------------------------------
+# The attack-search microbenchmark gate
+# ----------------------------------------------------------------------
+def search_artifact(families=None, pool_identical=True):
+    from repro.eval.regression import ATTACK_SEARCH_SCHEMA
+
+    return {
+        "schema": ATTACK_SEARCH_SCHEMA,
+        "families": families or {},
+        "pool": {"results_identical": pool_identical},
+        "timing": {"total_s": 60.0},
+    }
+
+
+CELL = {"full_s": 6.0, "suffix_s": 1.5, "speedup": 4.0,
+        "results_identical": True}
+
+
+class TestCompareAttackSearch:
+    def test_matching_artifacts_pass(self):
+        from repro.eval.regression import compare_attack_search
+
+        doc = search_artifact({"tbfa-locked": dict(CELL)})
+        report = compare_attack_search(doc, doc)
+        assert report.ok
+        assert "tbfa-locked" in report.summary()
+
+    def test_divergent_engine_fails(self):
+        from repro.eval.regression import compare_attack_search
+
+        bad = dict(CELL, results_identical=False)
+        report = compare_attack_search(
+            search_artifact({"bfa-locked": bad}),
+            search_artifact({"bfa-locked": dict(CELL)}),
+        )
+        assert not report.ok
+        assert "diverged" in report.violations[0]
+
+    def test_speedup_ratio_regression_fails(self):
+        from repro.eval.regression import compare_attack_search
+
+        slow = dict(CELL, speedup=2.0)
+        report = compare_attack_search(
+            search_artifact({"bfa-locked": slow}),
+            search_artifact({"bfa-locked": dict(CELL)}),
+            speedup_tolerance=0.25,
+        )
+        assert not report.ok
+        assert "floor 3.00x" in report.violations[0]
+
+    def test_speedup_within_tolerance_passes(self):
+        from repro.eval.regression import compare_attack_search
+
+        slightly_slow = dict(CELL, speedup=3.2)
+        report = compare_attack_search(
+            search_artifact({"bfa-locked": slightly_slow}),
+            search_artifact({"bfa-locked": dict(CELL)}),
+            speedup_tolerance=0.25,
+        )
+        assert report.ok
+
+    def test_missing_family_fails(self):
+        from repro.eval.regression import compare_attack_search
+
+        report = compare_attack_search(
+            search_artifact({}),
+            search_artifact({"bfa-locked": dict(CELL)}),
+        )
+        assert not report.ok
+        assert "missing" in report.violations[0]
+
+    def test_pool_divergence_fails(self):
+        from repro.eval.regression import compare_attack_search
+
+        report = compare_attack_search(
+            search_artifact({}, pool_identical=False), search_artifact({})
+        )
+        assert not report.ok
+
+    def test_cli_dispatches_on_schema(self, tmp_path, capsys):
+        import sys
+
+        sys.path.insert(0, "benchmarks")
+        try:
+            from check_regression import main as check_main
+        finally:
+            sys.path.pop(0)
+        current = tmp_path / "BENCH_attack_search.json"
+        baseline = tmp_path / "BENCH_attack_search_baseline.json"
+        doc = search_artifact({"tbfa-locked": dict(CELL)})
+        current.write_text(json.dumps(doc))
+        baseline.write_text(json.dumps(doc))
+        assert check_main([str(current), str(baseline)]) == 0
+        assert "speedup" in capsys.readouterr().out

@@ -1,0 +1,404 @@
+"""The suffix-forward search engine: bit-identical outcome equivalence
+against the full-forward reference for every bit-search family, plus
+the prefix-activation-cache invalidation contract and the digest
+memoization of probes/gradients."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    BackdoorConfig,
+    BFAConfig,
+    HammerDriver,
+    MultiRoundBFA,
+    MultiRoundConfig,
+    ProgressiveBitSearch,
+    RowhammerBackdoor,
+    SearchSession,
+    SearchTerm,
+    TBFAConfig,
+    TBFAttack,
+)
+from repro.controller import MemoryController
+from repro.dram import DRAMConfig, DRAMDevice, VulnerabilityMap
+from repro.locker import DRAMLocker, LockMode, LockerConfig
+from repro.nn import (
+    Model,
+    PrefixActivationCache,
+    QuantizedModel,
+    WeightStore,
+    make_dataset,
+    resnet20,
+    train,
+)
+from repro.nn.train import TrainConfig
+
+TRH = 60
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_dataset("t", 4, hw=8, train_per_class=24, test_per_class=12, seed=3)
+
+
+@pytest.fixture(scope="module")
+def trained_model(dataset):
+    model = resnet20(num_classes=4, width=4, input_hw=8, seed=1)
+    train(model, dataset, TrainConfig(epochs=8, batch_size=16, lr=0.1, seed=1))
+    return model
+
+
+@pytest.fixture()
+def qmodel(trained_model):
+    q = QuantizedModel(trained_model)
+    snapshot = q.snapshot()
+    yield q
+    q.restore(snapshot)
+
+
+def run_both_engines(qmodel, build, iterations):
+    """Run one attack under each engine from the same snapshot."""
+    snapshot = qmodel.snapshot()
+    results = {}
+    for engine in ("full", "suffix"):
+        qmodel.restore(snapshot)
+        results[engine] = build(engine).run(iterations)
+    qmodel.restore(snapshot)
+    return results["full"], results["suffix"]
+
+
+# ----------------------------------------------------------------------
+# Engine equivalence: same flip sequences, same recorded trajectories
+# ----------------------------------------------------------------------
+class TestEngineEquivalence:
+    def test_bfa(self, qmodel, dataset):
+        full, suffix = run_both_engines(
+            qmodel,
+            lambda e: ProgressiveBitSearch(
+                qmodel, dataset, BFAConfig(attack_batch=32, seed=0, engine=e)
+            ),
+            6,
+        )
+        assert [
+            (f.tensor, f.flat_index, f.bit, f.loss_after, f.accuracy_after)
+            for f in full.flips
+        ] == [
+            (f.tensor, f.flat_index, f.bit, f.loss_after, f.accuracy_after)
+            for f in suffix.flips
+        ]
+        assert full.losses == suffix.losses
+        assert full.accuracies == suffix.accuracies
+
+    @pytest.mark.parametrize(
+        "variant", ["n-to-1", "1-to-1", "1-to-1-stealthy"]
+    )
+    def test_tbfa_variants(self, qmodel, dataset, variant):
+        full, suffix = run_both_engines(
+            qmodel,
+            lambda e: TBFAttack(
+                qmodel,
+                dataset,
+                TBFAConfig(
+                    variant=variant,
+                    target_class=0,
+                    source_class=1,
+                    attack_batch=32,
+                    seed=0,
+                    engine=e,
+                ),
+            ),
+            4,
+        )
+        assert [
+            (f.tensor, f.flat_index, f.bit, f.objective_after)
+            for f in full.flips
+        ] == [
+            (f.tensor, f.flat_index, f.bit, f.objective_after)
+            for f in suffix.flips
+        ]
+        assert full.objectives == suffix.objectives
+        assert full.asr == suffix.asr
+        assert full.accuracies == suffix.accuracies
+
+    def test_backdoor(self, qmodel, dataset):
+        full, suffix = run_both_engines(
+            qmodel,
+            lambda e: RowhammerBackdoor(
+                qmodel,
+                dataset,
+                BackdoorConfig(
+                    target_class=0, attack_batch=32, seed=0, engine=e
+                ),
+            ),
+            4,
+        )
+        assert [
+            (f.tensor, f.flat_index, f.bit, f.objective_after, f.asr_after)
+            for f in full.flips
+        ] == [
+            (f.tensor, f.flat_index, f.bit, f.objective_after, f.asr_after)
+            for f in suffix.flips
+        ]
+
+    def test_multi_round(self, qmodel, dataset):
+        full, suffix = run_both_engines(
+            qmodel,
+            lambda e: MultiRoundBFA(
+                qmodel,
+                dataset,
+                MultiRoundConfig(rounds=2, attack_batch=32, seed=0, engine=e),
+            ),
+            6,
+        )
+        assert [
+            (f.tensor, f.flat_index, f.bit, f.loss_after, f.accuracy_after)
+            for f in full.flips
+        ] == [
+            (f.tensor, f.flat_index, f.bit, f.loss_after, f.accuracy_after)
+            for f in suffix.flips
+        ]
+        assert full.rounds == suffix.rounds
+
+    def test_bfa_with_repair_hook(self, qmodel, dataset):
+        """The weight-reconstruction path: repair clamps the float
+        weights between iterations, which the session must detect
+        (digest change) and reconcile the way the legacy evaluator's
+        load_into_model side effect did."""
+        bounds = {
+            path: 2.0 * float(np.std(layer.weight.value))
+            for path, layer in qmodel.model.weight_layers().items()
+        }
+
+        def repair(model: Model) -> None:
+            for path, layer in model.weight_layers().items():
+                np.clip(
+                    layer.weight.value,
+                    -bounds[path],
+                    bounds[path],
+                    out=layer.weight.value,
+                )
+
+        full, suffix = run_both_engines(
+            qmodel,
+            lambda e: ProgressiveBitSearch(
+                qmodel,
+                dataset,
+                BFAConfig(attack_batch=32, seed=0, engine=e),
+                repair=repair,
+            ),
+            5,
+        )
+        assert [
+            (f.tensor, f.flat_index, f.bit, f.loss_after, f.accuracy_after)
+            for f in full.flips
+        ] == [
+            (f.tensor, f.flat_index, f.bit, f.loss_after, f.accuracy_after)
+            for f in suffix.flips
+        ]
+
+    def test_dram_mode_with_exposure_window(self, qmodel, dataset):
+        """Through the simulator, behind a locker whose swap failures
+        let some flips through: a mix of blocked and landed campaigns
+        must leave both engines on identical trajectories."""
+
+        def build(engine):
+            cfg = DRAMConfig.small()
+            device = DRAMDevice(
+                cfg,
+                vulnerability=VulnerabilityMap(cfg, weak_cell_fraction=0.0),
+                trh=TRH,
+            )
+            locker = DRAMLocker(
+                device,
+                LockerConfig(copy_error_rate=0.4, relock_interval=2 * TRH + 10,
+                             seed=5),
+            )
+            controller = MemoryController(device, locker=locker)
+            store = WeightStore(device, qmodel, guard_rows=True)
+            locker.protect(store.data_rows, mode=LockMode.ADJACENT)
+            driver = HammerDriver(controller, patience=2.0)
+            rng = np.random.default_rng(0)
+
+            def tenant(name, index, bit):
+                row, _ = store.bit_location(name, index, bit)
+                guard = int(rng.choice(device.mapper.neighbors(row)))
+                controller.read(guard, privileged=True)
+
+            return ProgressiveBitSearch(
+                qmodel,
+                dataset,
+                BFAConfig(attack_batch=32, seed=0, engine=engine),
+                store=store,
+                driver=driver,
+                before_execute=tenant,
+            )
+
+        full, suffix = run_both_engines(qmodel, build, 5)
+        assert [
+            (f.tensor, f.flat_index, f.bit, f.executed, f.loss_after,
+             f.accuracy_after)
+            for f in full.flips
+        ] == [
+            (f.tensor, f.flat_index, f.bit, f.executed, f.loss_after,
+             f.accuracy_after)
+            for f in suffix.flips
+        ]
+
+    def test_non_sequential_net_falls_back_to_full(self, dataset):
+        """A model whose net is not a top-level Sequential cannot run
+        suffix forwards; the session must degrade, not crash."""
+        inner = resnet20(num_classes=4, width=4, input_hw=8, seed=2)
+
+        class Wrapper(inner.net.__class__.__bases__[0]):  # Layer
+            def __init__(self, net):
+                self.net = net
+
+            def children(self):
+                return [("net", self.net)]
+
+            def forward(self, x, training=False):
+                return self.net.forward(x, training=training)
+
+            def backward(self, dy):
+                return self.net.backward(dy)
+
+        wrapped = QuantizedModel(Model(Wrapper(inner.net), name="wrapped"))
+        session = SearchSession(wrapped, engine="suffix")
+        assert session.engine == "full"
+
+
+# ----------------------------------------------------------------------
+# Prefix-activation cache: laziness, bitwise suffixes, invalidation
+# ----------------------------------------------------------------------
+class TestPrefixActivationCache:
+    def test_suffix_forward_matches_full_forward(self, trained_model, dataset):
+        x = dataset.test_x[:8]
+        reference = trained_model.forward(x)
+        cache = PrefixActivationCache(trained_model.net, x)
+        for k in range(cache.depth + 1):
+            suffix = trained_model.net.forward_from(cache.input_of(k), k)
+            assert np.array_equal(suffix, reference)
+
+    def test_lazy_fill_and_exact_invalidation(self, trained_model, dataset):
+        cache = PrefixActivationCache(trained_model.net, dataset.test_x[:4])
+        assert cache.cached_indices() == [0]
+        cache.input_of(3)
+        assert cache.cached_indices() == [0, 1, 2, 3]
+        cache.logits()
+        assert cache.cached_indices() == list(range(cache.depth + 1))
+        # A mutation in layer 5 keeps the *inputs* of layers <= 5.
+        cache.invalidate_from(5)
+        assert cache.cached_indices() == [0, 1, 2, 3, 4, 5]
+        cache.invalidate_all()
+        assert cache.cached_indices() == [0]
+
+    def test_out_of_range_rejected(self, trained_model, dataset):
+        cache = PrefixActivationCache(trained_model.net, dataset.test_x[:4])
+        with pytest.raises(IndexError):
+            cache.input_of(cache.depth + 1)
+        with pytest.raises(IndexError):
+            trained_model.net.forward_from(dataset.test_x[:4], -1)
+
+    def test_requires_sequential(self, dataset):
+        with pytest.raises(TypeError):
+            PrefixActivationCache(object(), dataset.test_x[:4])
+
+
+class TestSessionInvalidation:
+    def test_committed_flip_invalidates_exactly_downstream(self, qmodel, dataset):
+        session = SearchSession(qmodel, engine="suffix")
+        terms = (SearchTerm(dataset.test_x[:8], dataset.test_y[:8]),)
+        session.objective(terms)  # populates the cache fully
+        cache = session._cache_for(terms[0].x)
+        assert cache.cached_indices() == list(range(cache.depth + 1))
+        # Commit a flip in some mid-network tensor.
+        name = [n for n in qmodel.tensors if n.startswith("5.")][0]
+        top = int(name.split(".", 1)[0])
+        qmodel.flip_bit(name, 0, 7)
+        session.refresh()
+        assert cache.cached_indices() == list(range(top + 1))
+        # The invalidated suffix recomputes to the full-forward truth.
+        assert np.array_equal(
+            cache.logits(), qmodel.model.forward(terms[0].x)
+        )
+
+    def test_unchanged_state_keeps_cache(self, qmodel, dataset):
+        session = SearchSession(qmodel, engine="suffix")
+        terms = (SearchTerm(dataset.test_x[:8], dataset.test_y[:8]),)
+        session.objective(terms)
+        cache = session._cache_for(terms[0].x)
+        before = cache.cached_indices()
+        session.refresh()
+        assert cache.cached_indices() == before
+
+
+# ----------------------------------------------------------------------
+# Digest memoization: blocked iterations never re-run predict
+# ----------------------------------------------------------------------
+class TestProbeMemoization:
+    def test_probes_memoize_until_weights_change(self, qmodel, dataset, monkeypatch):
+        session = SearchSession(qmodel, engine="suffix")
+        calls = {"predict": 0}
+        real_predict = type(qmodel.model).predict
+
+        def counting_predict(self, x, batch=256):
+            calls["predict"] += 1
+            return real_predict(self, x, batch)
+
+        monkeypatch.setattr(type(qmodel.model), "predict", counting_predict)
+        first = session.accuracy(dataset.test_x, dataset.test_y)
+        again = session.accuracy(dataset.test_x, dataset.test_y)
+        assert first == again
+        assert calls["predict"] == 1
+        assert session.stats.probe_hits == 1
+        # A committed flip changes the digest: the probe recomputes.
+        name = next(iter(qmodel.tensors))
+        qmodel.flip_bit(name, 0, 7)
+        session.accuracy(dataset.test_x, dataset.test_y)
+        assert calls["predict"] == 2
+
+    def test_gradients_memoize_on_digest(self, qmodel, dataset):
+        session = SearchSession(qmodel, engine="suffix")
+        terms = (SearchTerm(dataset.test_x[:8], dataset.test_y[:8]),)
+        first = session.objective_grads(terms)
+        second = session.objective_grads(terms)
+        assert session.stats.grad_hits == 1
+        assert all(np.array_equal(first[n], second[n]) for n in first)
+        name = next(iter(qmodel.tensors))
+        qmodel.flip_bit(name, 0, 7)
+        session.objective_grads(terms)
+        assert session.stats.grad_misses == 2
+
+    def test_full_engine_never_memoizes(self, qmodel, dataset):
+        session = SearchSession(qmodel, engine="full")
+        session.accuracy(dataset.test_x, dataset.test_y)
+        session.accuracy(dataset.test_x, dataset.test_y)
+        assert session.stats.probe_hits == 0
+        assert session.stats.probe_misses == 0
+
+    def test_unknown_engine_rejected(self, qmodel):
+        with pytest.raises(ValueError):
+            SearchSession(qmodel, engine="warp")
+
+
+# ----------------------------------------------------------------------
+# Same-layer candidate batching
+# ----------------------------------------------------------------------
+class TestCandidateBatching:
+    def test_batched_suffix_verified_per_shape_class(self, qmodel, dataset):
+        session = SearchSession(qmodel, engine="suffix")
+        terms = (SearchTerm(dataset.test_x[:8], dataset.test_y[:8]),)
+        name = next(iter(qmodel.tensors))
+        candidates = [(name, i, 7) for i in range(3)]
+        first = session.evaluate_flips(terms, candidates)
+        assert session._batch_ok  # the shape class was adjudicated
+        second = session.evaluate_flips(terms, candidates)
+        assert first == second
+        # Reference check: flip -> full forward -> revert, by hand.
+        by_hand = []
+        for cname, index, bit in candidates:
+            qmodel.flip_bit(cname, index, bit)
+            by_hand.append(qmodel.model.loss(terms[0].x, terms[0].labels))
+            qmodel.flip_bit(cname, index, bit)
+        qmodel.load_into_model()
+        assert first == by_hand
