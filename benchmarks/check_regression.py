@@ -7,22 +7,26 @@ Usage::
 
 Exits nonzero when the current artifact's runtime or any protected
 accuracy regresses beyond tolerance versus the committed baseline (see
-:mod:`repro.eval.regression` for what is compared).  Attack-search
-microbenchmark artifacts (``bench_attack_search.py``) are detected by
-schema and gated on engine equivalence plus per-family speedup
-*ratios* instead, which do transfer across runner classes.  Refresh a
-baseline by copying a trusted run's artifact over the
-``*_baseline.json`` file under ``benchmarks/artifacts/`` -- regenerate
-harness baselines on the same runner class the workflow uses, since
-wall-clock baselines do not transfer between machines.
+:mod:`repro.eval.regression` for what is compared).  Engine
+microbenchmark artifacts -- attack-search
+(``bench_attack_search.py``) and defended-hammer
+(``bench_defended_hammer.py``) -- are detected by schema and gated on
+engine equivalence plus per-cell speedup *ratios* instead, which do
+transfer across runner classes.  Refresh a baseline by copying a
+trusted run's artifact over the ``*_baseline.json`` file under
+``benchmarks/artifacts/`` -- regenerate harness baselines on the same
+runner class the workflow uses, since wall-clock baselines do not
+transfer between machines.
 """
 
 import argparse
 
 from repro.eval.regression import (
     ATTACK_SEARCH_SCHEMA,
+    DEFENDED_HAMMER_SCHEMA,
     compare_artifacts,
     compare_attack_search,
+    compare_defended_hammer,
     load_artifact,
 )
 
@@ -40,6 +44,10 @@ def main(argv: list[str] | None = None) -> int:
     baseline = load_artifact(args.baseline)
     if current.get("schema") == ATTACK_SEARCH_SCHEMA:
         report = compare_attack_search(
+            current, baseline, speedup_tolerance=args.speedup_tolerance
+        )
+    elif current.get("schema") == DEFENDED_HAMMER_SCHEMA:
+        report = compare_defended_hammer(
             current, baseline, speedup_tolerance=args.speedup_tolerance
         )
     else:

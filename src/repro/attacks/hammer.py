@@ -72,11 +72,13 @@ class HammerDriver:
 
         # Hammer in TRH-sized bursts, checking the ground truth between
         # bursts (the flip fires exactly at TRH-multiples of issued ACTs).
+        # Summary mode: the controller tallies issued/blocked in bulk
+        # instead of materializing one result object per activation.
         for _ in range(max(1, int(self.patience))):
             for aggressor in aggressors:
-                results = self.controller.hammer(aggressor, count=trh)
-                issued += sum(1 for r in results if not r.blocked)
-                blocked += sum(1 for r in results if r.blocked)
+                summary = self.controller.hammer_run(aggressor, count=trh)
+                issued += summary.issued
+                blocked += summary.blocked
                 if self._bit_value(victim_row, victim_bit) != initial:
                     return HammerOutcome(
                         True, issued, blocked, victim_row, victim_bit

@@ -1,7 +1,14 @@
 """Memory controller: requests, execution, sequence, scheduling."""
 
 from .controller import LOCK_LOOKUP_NS, MemoryController
-from .request import Kind, MemRequest, RequestResult, Status
+from .request import (
+    Kind,
+    MemRequest,
+    RequestResult,
+    RequestRun,
+    RunSummary,
+    Status,
+)
 from .scheduler import FRFCFSScheduler
 from .sequence import Sequence, SequenceReport
 
@@ -12,6 +19,8 @@ __all__ = [
     "MemRequest",
     "MemoryController",
     "RequestResult",
+    "RequestRun",
+    "RunSummary",
     "Sequence",
     "SequenceReport",
     "Status",

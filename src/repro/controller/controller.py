@@ -14,19 +14,34 @@ The controller is where "skipped instructions cost nothing" becomes
 measurable: a blocked request consumes only the lock-table lookup
 latency and never reaches the DRAM array.
 
-Two execution paths are offered:
+Execution engines and APIs:
 
 * :meth:`MemoryController.execute` -- the scalar reference path, one
   request per call;
 * :meth:`MemoryController.execute_batch` -- the batched engine.  Runs
-  of identical attacker activations (the hammer hot loop) and the
-  per-burst column walks of full-row reads are accounted in bulk, with
-  chunk boundaries chosen so every observable outcome -- hammer
-  counters, refresh interleaving, blocked-request skip cost,
-  unlock-SWAP ordering, ``MemoryStats`` (including energy, accumulated
-  in the scalar addition order) -- is bit-identical to calling
-  ``execute`` in a loop.  ``tests/test_batch_execution.py`` holds the
-  equivalence suite.
+  of identical attacker activations (the hammer hot loop) are accounted
+  in bulk -- **including under a baseline defense**, via the
+  :class:`~repro.defenses.base.Defense` bulk hook pair -- with chunk
+  boundaries at every point where any observable can change: refresh
+  ticks, RowHammer threshold crossings, locker deadlines and
+  unlock-SWAPs, and every defense event (counter thresholds, sampler
+  insertions/evictions, Hydra escalations, TWiCE prunes, swap/shuffle
+  moves, PARA's sub-``p`` draws).  Outcomes are bit-identical to
+  calling ``execute`` in a loop -- hammer counters, ``MemoryStats``
+  (floats accumulated in the scalar addition order via the
+  sequential-accumulator helpers), defense state, RNG streams.
+  ``tests/test_batch_execution.py`` holds the equivalence suite.
+* :meth:`MemoryController.execute_run` /
+  :meth:`MemoryController.execute_summary` -- **summary mode**: same
+  engine, but the per-request :class:`RequestResult` materialization is
+  replaced by one :class:`RunSummary` (issued/blocked/latency/flips),
+  so a million-activation campaign performs O(chunks) allocation.
+  ``HammerDriver`` and ``WeightStore.stream_inference`` consume this.
+
+``engine="scalar"`` at construction keeps every path on the reference
+loop (the discipline shared with ``repro.nn.functional.contract`` and
+the suffix-forward search engine: the fast path is only used where
+equivalence is pinned).
 """
 
 from __future__ import annotations
@@ -38,13 +53,101 @@ import numpy as np
 
 from ..defenses.base import Defense
 from ..dram.device import DRAMDevice
+from ..dram.stats import walk_add_many
 from ..locker.lock_table import LOCK_LOOKUP_NS
-from .request import Kind, MemRequest, RequestResult, Status
+from .request import (
+    Kind,
+    MemRequest,
+    RequestResult,
+    RequestRun,
+    RunSummary,
+    Status,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..locker.locker import DRAMLocker
 
 __all__ = ["MemoryController", "LOCK_LOOKUP_NS"]
+
+
+class _ListSink:
+    """Collects full per-request results (the ``execute_batch`` mode)."""
+
+    __slots__ = ("controller", "results")
+
+    def __init__(self, controller: "MemoryController"):
+        self.controller = controller
+        self.results: list[RequestResult] = []
+
+    def add(self, result: RequestResult) -> None:
+        # Scalar results were already logged by ``execute`` itself.
+        self.results.append(result)
+
+    def add_run(
+        self,
+        requests: Sequence[MemRequest],
+        start: int,
+        count: int,
+        status: Status,
+        latency_ns: float,
+        defense_ns: float,
+        physical: int | None,
+    ) -> None:
+        chunk = [
+            RequestResult(
+                requests[k],
+                status,
+                latency_ns=latency_ns,
+                defense_ns=defense_ns,
+                physical_row=physical,
+            )
+            for k in range(start, start + count)
+        ]
+        if self.controller.results_log_enabled:
+            self.controller.results.extend(chunk)
+        self.results.extend(chunk)
+
+
+class _SummarySink:
+    """Reduces the stream to one :class:`RunSummary` -- no per-request
+    allocation; float totals keep the scalar in-order fold."""
+
+    __slots__ = ("summary",)
+
+    def __init__(self) -> None:
+        self.summary = RunSummary()
+
+    def add(self, result: RequestResult) -> None:
+        summary = self.summary
+        if result.status is Status.BLOCKED:
+            summary.blocked += 1
+        else:
+            summary.issued += 1
+        summary.latency_ns += result.latency_ns
+        summary.defense_ns += result.defense_ns
+        if result.flips:
+            summary.flips.extend(result.flips)
+
+    def add_run(
+        self,
+        requests: Sequence[MemRequest],
+        start: int,
+        count: int,
+        status: Status,
+        latency_ns: float,
+        defense_ns: float,
+        physical: int | None,
+    ) -> None:
+        summary = self.summary
+        if status is Status.BLOCKED:
+            summary.blocked += count
+        else:
+            summary.issued += count
+        summary.latency_ns, summary.defense_ns = walk_add_many(
+            (summary.latency_ns, summary.defense_ns),
+            (latency_ns, defense_ns),
+            count,
+        )
 
 
 class MemoryController:
@@ -55,10 +158,14 @@ class MemoryController:
         device: DRAMDevice,
         defense: Defense | None = None,
         locker: "DRAMLocker | None" = None,
+        engine: str = "bulk",
     ):
+        if engine not in ("bulk", "scalar"):
+            raise ValueError("engine must be 'bulk' or 'scalar'")
         self.device = device
         self.defense = defense
         self.locker = locker
+        self.engine = engine
         if defense is not None:
             defense.attach(device)
         self.results_log_enabled = False
@@ -92,11 +199,20 @@ class MemoryController:
     def hammer(self, row: int, count: int = 1) -> list[RequestResult]:
         """Issue ``count`` attacker activations (ACT+PRE) of one row.
 
-        The activations are identical, so one request object is shared
-        across the batch; results still arrive one per activation.
+        The request stream is a :class:`RequestRun` -- one shared
+        request object, O(1) memory before execution -- and results
+        still arrive one per activation.  Prefer :meth:`hammer_run`
+        when only the issued/blocked tallies matter.
         """
         return self.execute_batch(
-            [MemRequest(Kind.ACT, row, privileged=False)] * count
+            RequestRun(MemRequest(Kind.ACT, row, privileged=False), count)
+        )
+
+    def hammer_run(self, row: int, count: int = 1) -> RunSummary:
+        """Summary-mode :meth:`hammer`: same execution, same device
+        state, but no per-activation result objects."""
+        return self.execute_run(
+            MemRequest(Kind.ACT, row, privileged=False), count
         )
 
     def run(self, requests: Iterable[MemRequest]) -> list[RequestResult]:
@@ -188,7 +304,7 @@ class MemoryController:
         return result
 
     # ------------------------------------------------------------------
-    # Batched execution
+    # Batched / summary execution
     # ------------------------------------------------------------------
     def execute_batch(
         self, requests: Sequence[MemRequest]
@@ -196,21 +312,63 @@ class MemoryController:
         """Execute a request stream in order through the batched engine.
 
         Returns exactly what ``[self.execute(r) for r in requests]``
-        would: same results, same stats, same device and locker state.
-        Runs of identical attacker activations are accounted in bulk
-        between the chunk boundaries where state can change (a refresh
-        tick, a RowHammer threshold crossing, a pending unlock-SWAP
-        restore, a privileged access to a locked row); everything else
-        takes the scalar path.
+        would: same results, same stats, same device, defense, and
+        locker state.  Runs of identical attacker activations are
+        accounted in bulk between the chunk boundaries where state can
+        change; everything else takes the scalar path.
         """
-        if not isinstance(requests, list):
+        sink = _ListSink(self)
+        self._drain(requests, sink)
+        return sink.results
+
+    def execute_summary(self, requests: Sequence[MemRequest]) -> RunSummary:
+        """Execute a request stream through the batched engine, reduced
+        to one :class:`RunSummary` -- device/defense/locker state is
+        identical to :meth:`execute_batch`, but no per-request results
+        are materialized (bulk chunks allocate nothing per request).
+
+        The results log, when enabled, only sees the scalar boundary
+        steps in this mode; use :meth:`execute_batch` for full traces.
+        """
+        sink = _SummarySink()
+        self._drain(requests, sink)
+        return sink.summary
+
+    def execute_run(self, request: MemRequest, count: int) -> RunSummary:
+        """Summary-mode execution of ``count`` repetitions of one
+        request: the zero-allocation accounting path of the hammer hot
+        loop (O(1) memory in, O(chunks) work out)."""
+        return self.execute_summary(RequestRun(request, count))
+
+    def _drain(self, requests: Sequence[MemRequest], sink) -> None:
+        """Feed a request stream through ``sink`` via the configured
+        engine, finding bulkable ACT runs when ``engine='bulk'``."""
+        if self.engine == "scalar":
+            if isinstance(requests, RequestRun):
+                request = requests.request
+                for _ in range(len(requests)):
+                    sink.add(self.execute(request))
+            else:
+                for request in requests:
+                    sink.add(self.execute(request))
+            return
+        if isinstance(requests, RequestRun):
+            # Run-length input: the whole stream is one known run, no
+            # per-element scan needed.
+            total = len(requests)
+            if total > 1 and requests.request.kind is Kind.ACT:
+                self._execute_act_run(requests, 0, total, sink)
+            else:
+                for index in range(total):
+                    sink.add(self.execute(requests.request))
+            return
+        if not isinstance(requests, (list, tuple)):
             requests = list(requests)
-        results: list[RequestResult] = []
         total = len(requests)
         index = 0
         while index < total:
             request = requests[index]
-            if request.kind is Kind.ACT and self.defense is None:
+            if request.kind is Kind.ACT:
                 end = index + 1
                 row, privileged = request.row, request.privileged
                 while end < total:
@@ -223,32 +381,29 @@ class MemoryController:
                         break
                     end += 1
                 if end - index > 1:
-                    self._execute_act_run(requests, index, end, results)
+                    self._execute_act_run(requests, index, end, sink)
                     index = end
                     continue
-            results.append(self.execute(request))
+            sink.add(self.execute(request))
             index += 1
-        return results
 
     def _execute_act_run(
         self,
         requests: Sequence[MemRequest],
         start: int,
         end: int,
-        results: list[RequestResult],
+        sink,
     ) -> None:
         """Drain ``requests[start:end]`` -- identical ACTs of one row --
         alternating exact bulk chunks with scalar steps at every point
-        where a refresh tick, threshold crossing, or locker deadline
-        could change the outcome."""
+        where a refresh tick, threshold crossing, locker deadline, or
+        defense event could change the outcome."""
         device = self.device
-        timing = device.timing
         refresh = device.refresh
         rowhammer = device.rowhammer
         locker = self.locker
-        trc = timing.trc
-        trh = rowhammer.trh
-        hd_factor = rowhammer.half_double_factor
+        defense = self.defense
+        trc = device.timing.trc
         row = requests[start].row
         privileged = requests[start].privileged
 
@@ -257,7 +412,7 @@ class MemoryController:
             if locker is not None:
                 pending_bound = locker.quiet_span()
                 if pending_bound <= 0:
-                    results.append(self.execute(requests[index]))
+                    sink.add(self.execute(requests[index]))
                     index += 1
                     continue
                 physical, locked, exposed = locker.classify(row)
@@ -265,42 +420,52 @@ class MemoryController:
                     if privileged:
                         # Unlock-SWAP path: strictly scalar, ordering is
                         # part of the defense semantics.
-                        results.append(self.execute(requests[index]))
+                        sink.add(self.execute(requests[index]))
                         index += 1
                         continue
                     count = min(end - index, pending_bound)
-                    self._bulk_blocked(requests, index, count, results)
+                    self._bulk_blocked(requests, index, count, sink)
                     index += count
                     continue
                 lookup_hit = locked  # exposed rows still hit the table
-                extra_ns = LOCK_LOOKUP_NS
+                lock_ns = LOCK_LOOKUP_NS
             else:
                 physical = row
                 pending_bound = end - index
                 lookup_hit = False
-                extra_ns = 0.0
+                lock_ns = 0.0
 
+            # Baseline defense: translate, then ask the defense how far
+            # ahead it stays uniform.  Non-opted-in defenses (plan is
+            # None) keep the request-at-a-time scalar path.
+            defense_extra = 0.0
+            limit = min(end - index, pending_bound)
+            if defense is not None:
+                physical = defense.translate(physical)
+                plan = defense.plan_activate_run(physical, limit)
+                if plan is None or plan.count <= 0:
+                    sink.add(self.execute(requests[index]))
+                    index += 1
+                    continue
+                limit = min(limit, plan.count)
+                defense_extra = plan.extra_ns
+
+            extra_ns = lock_ns + defense_extra  # the scalar fold order
             step_ns = trc + extra_ns
             # One-step safety margin keeps every refresh tick and every
             # threshold crossing on the scalar path.
-            ticks_away = (
-                int((refresh.next_ref_ns - device.now_ns) / step_ns) - 1
+            count = min(
+                limit,
+                refresh.quiet_steps(device.now_ns, step_ns),
+                rowhammer.quiet_span(physical),
             )
-            counter = rowhammer.counters.get(physical, 0)
-            cross_away = trh - (counter % trh) - 1
-            if hd_factor is not None:
-                hd_threshold = int(trh * hd_factor)
-                if hd_threshold > 0:
-                    cross_away = min(
-                        cross_away, hd_threshold - (counter % hd_threshold) - 1
-                    )
-            count = min(end - index, pending_bound, ticks_away, cross_away)
             if count <= 0:
-                results.append(self.execute(requests[index]))
+                sink.add(self.execute(requests[index]))
                 index += 1
                 continue
             self._bulk_acts(
-                requests, index, count, physical, lookup_hit, extra_ns, results
+                requests, index, count, physical, lookup_hit, extra_ns,
+                step_ns, sink,
             )
             index += count
 
@@ -312,74 +477,74 @@ class MemoryController:
         physical: int,
         lookup_hit: bool,
         extra_ns: float,
-        results: list[RequestResult],
+        step_ns: float,
+        sink,
     ) -> None:
         """Account ``count`` allowed ACT+PRE cycles of ``physical`` in
         bulk.  The caller guarantees no refresh tick, no threshold
-        crossing, and no locker deadline falls inside the chunk, so the
-        only per-step work is the (order-preserving) accumulator walk."""
+        crossing, no locker deadline, and no defense event falls inside
+        the chunk, so every accumulator advances by a constant per-step
+        value -- replayed in the scalar addition order by
+        :func:`~repro.dram.stats.walk_add_many`."""
         device = self.device
         stats = device.stats
         breakdown = stats.energy
         energy = device.energy
-        locker = self.locker
         trc = device.timing.trc
-        step_ns = trc + extra_ns
-        background_step = energy.background_nj(step_ns)
-        e_act = energy.e_act
-        e_pre = energy.e_pre
+        now_start = device.now_ns
 
-        busy = stats.busy_ns
-        defense = stats.defense_ns
-        now = device.now_ns
-        act_acc = breakdown.activate
-        pre_acc = breakdown.precharge
-        background_acc = breakdown.background
-        for _ in range(count):
-            act_acc += e_act
-            pre_acc += e_pre
-            busy += trc
-            defense += extra_ns
-            now += step_ns
-            background_acc += background_step
-        breakdown.activate = act_acc
-        breakdown.precharge = pre_acc
-        breakdown.background = background_acc
-        stats.busy_ns = busy
-        stats.defense_ns = defense
-        device.now_ns = now
+        (
+            breakdown.activate,
+            breakdown.precharge,
+            breakdown.background,
+            stats.busy_ns,
+            stats.defense_ns,
+            device.now_ns,
+        ) = walk_add_many(
+            (
+                breakdown.activate,
+                breakdown.precharge,
+                breakdown.background,
+                stats.busy_ns,
+                stats.defense_ns,
+                device.now_ns,
+            ),
+            (
+                energy.e_act,
+                energy.e_pre,
+                energy.background_nj(step_ns),
+                trc,
+                extra_ns,
+                step_ns,
+            ),
+            count,
+        )
         stats.activates += count
         stats.precharges += count
-        rowhammer = device.rowhammer
-        rowhammer.counters[physical] = (
-            rowhammer.counters.get(physical, 0) + count
-        )
+        device.rowhammer.charge_activations(physical, count)
         # Every scalar ACT ends with a precharge of its own bank.
         device.banks[device.mapper.row_address(physical).bank].open_row = None
-        if locker is not None:
-            locker.charge_bulk(count, lookup_hit)
+        if self.locker is not None:
+            self.locker.charge_bulk(count, lookup_hit)
+        if self.defense is not None:
+            self.defense.on_activate_run(physical, count, now_start, step_ns)
 
-        latency = trc + extra_ns
-        chunk = [
-            RequestResult(
-                requests[k],
-                Status.DONE,
-                latency_ns=latency,
-                defense_ns=extra_ns,
-                physical_row=physical,
-            )
-            for k in range(start, start + count)
-        ]
-        if self.results_log_enabled:
-            self.results.extend(chunk)
-        results.extend(chunk)
+        sink.add_run(
+            requests,
+            start,
+            count,
+            Status.DONE,
+            latency_ns=step_ns,
+            defense_ns=extra_ns,
+            physical=physical,
+        )
 
     def _bulk_blocked(
         self,
         requests: Sequence[MemRequest],
         start: int,
         count: int,
-        results: list[RequestResult],
+        sink,
     ) -> None:
         """Account ``count`` blocked (locked-row, unprivileged) requests
         in bulk.  Blocked requests touch no counters and no banks, so
@@ -387,34 +552,32 @@ class MemoryController:
         every observable identical to the scalar loop."""
         device = self.device
         stats = device.stats
-        background_step = device.energy.background_nj(LOCK_LOOKUP_NS)
-        background_acc = stats.energy.background
-        defense = stats.defense_ns
-        now = device.now_ns
-        for _ in range(count):
-            background_acc += background_step
-            defense += LOCK_LOOKUP_NS
-            now += LOCK_LOOKUP_NS
-        stats.energy.background = background_acc
-        stats.defense_ns = defense
-        device.now_ns = now
+        (
+            stats.energy.background,
+            stats.defense_ns,
+            device.now_ns,
+        ) = walk_add_many(
+            (stats.energy.background, stats.defense_ns, device.now_ns),
+            (
+                device.energy.background_nj(LOCK_LOOKUP_NS),
+                LOCK_LOOKUP_NS,
+                LOCK_LOOKUP_NS,
+            ),
+            count,
+        )
         stats.blocked_requests += count
         self.locker.charge_bulk_blocked(count)
-        device.refresh.tick(now)
+        device.refresh.tick(device.now_ns)
 
-        chunk = [
-            RequestResult(
-                requests[k],
-                Status.BLOCKED,
-                latency_ns=LOCK_LOOKUP_NS,
-                defense_ns=LOCK_LOOKUP_NS,
-                physical_row=None,
-            )
-            for k in range(start, start + count)
-        ]
-        if self.results_log_enabled:
-            self.results.extend(chunk)
-        results.extend(chunk)
+        sink.add_run(
+            requests,
+            start,
+            count,
+            Status.BLOCKED,
+            latency_ns=LOCK_LOOKUP_NS,
+            defense_ns=LOCK_LOOKUP_NS,
+            physical=None,
+        )
 
     # ------------------------------------------------------------------
     # Internals

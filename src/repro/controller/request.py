@@ -1,13 +1,34 @@
-"""Memory requests and results."""
+"""Memory requests and results.
+
+Besides the scalar :class:`MemRequest` / :class:`RequestResult` pair,
+this module holds the two run-length types of the bulk engine:
+
+* :class:`RequestRun` -- ``count`` repetitions of one request as an
+  O(1)-memory sequence, so issuing a million activations allocates one
+  object instead of a million-slot list;
+* :class:`RunSummary` -- the reduced outcome of a summary-mode
+  execution (``MemoryController.execute_run`` /
+  ``execute_summary``): issued/blocked tallies, in-order latency and
+  defense-time sums, and the observed bit-flips, with no per-request
+  ``RequestResult`` ever materialized.
+"""
 
 from __future__ import annotations
 
+from collections.abc import Sequence as _SequenceABC
 from dataclasses import dataclass, field
 from enum import Enum, auto
 
 from ..dram.rowhammer import BitFlip
 
-__all__ = ["Kind", "Status", "MemRequest", "RequestResult"]
+__all__ = [
+    "Kind",
+    "Status",
+    "MemRequest",
+    "RequestResult",
+    "RequestRun",
+    "RunSummary",
+]
 
 
 class Kind(Enum):
@@ -67,3 +88,56 @@ class RequestResult:
     @property
     def blocked(self) -> bool:
         return self.status is Status.BLOCKED
+
+
+class RequestRun(_SequenceABC):
+    """``count`` repetitions of one request, in O(1) memory.
+
+    Behaves as a read-only sequence (so it drops into every
+    ``execute_batch`` call site), but the controller recognizes it and
+    skips the per-element run-detection scan.
+    """
+
+    __slots__ = ("request", "count")
+
+    def __init__(self, request: MemRequest, count: int):
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self.request = request
+        self.count = count
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return RequestRun(self.request, len(range(*index.indices(self.count))))
+        if index < 0:
+            index += self.count
+        if not 0 <= index < self.count:
+            raise IndexError(index)
+        return self.request
+
+    def __repr__(self) -> str:
+        return f"RequestRun({self.request!r} x {self.count})"
+
+
+@dataclass
+class RunSummary:
+    """Reduced outcome of a summary-mode execution.
+
+    Float totals are accumulated in request order (bulk chunks replay
+    the same fold via the sequential-accumulator helpers), so they
+    equal the in-order Python sum over the scalar path's per-request
+    results bit-for-bit.
+    """
+
+    issued: int = 0
+    blocked: int = 0
+    latency_ns: float = 0.0
+    defense_ns: float = 0.0
+    flips: list[BitFlip] = field(default_factory=list)
+
+    @property
+    def requested(self) -> int:
+        return self.issued + self.blocked

@@ -1,6 +1,6 @@
 """RowHammer mitigation baselines and the Table I overhead model."""
 
-from .base import Defense, DefenseAction, NoDefense, OverheadReport
+from .base import Defense, DefenseAction, NoDefense, OverheadReport, RunAction
 from .counters import CounterPerRow, CounterTree
 from .graphene import Graphene
 from .hydra import Hydra
@@ -28,6 +28,7 @@ __all__ = [
     "PPIM",
     "RRS",
     "RowPermutation",
+    "RunAction",
     "SRS",
     "Shadow",
     "TRR",

@@ -10,6 +10,30 @@ memory controller through the same three hooks:
   refreshes, or trigger its own row moves;
 * :meth:`Defense.overhead` -- the storage/area accounting behind
   Table I.
+
+The **bulk hook pair** lets the batched engine run defended ACT runs
+without one Python call per activation:
+
+* :meth:`Defense.plan_activate_run` -- how many upcoming ACTs of one
+  row are *uniform*: every one of them would return a
+  :class:`DefenseAction` with the same ``extra_ns`` and no victim
+  refreshes, row moves, table evictions, escalations, prunes, or any
+  other state change beyond pure counter increments.  Returning
+  ``None`` opts the defense out (the controller falls back to the
+  scalar loop); a plan of 0 forces one scalar step (the ACT where the
+  defense acts) after which the controller re-plans.
+* :meth:`Defense.on_activate_run` -- commit the state updates of a
+  planned run in closed form, bit-identical to ``count`` scalar
+  ``on_activate`` calls.
+
+Chunk boundaries are therefore exactly the points where a defense can
+change behaviour: counter/Misra-Gries threshold crossings, TRR sampler
+insertions/evictions, Hydra group escalations and row-counter
+overflows, TWiCE prune checkpoints, SHADOW/RRS swap events, and PARA's
+sub-``p`` RNG draws (located by vectorizing the draw stream, which is
+bit-identical to the scalar draw sequence).  Every boundary ACT runs on
+the scalar path, so outcomes match the scalar loop bit-for-bit --
+``tests/test_batch_execution.py`` pins this per registered defense.
 """
 
 from __future__ import annotations
@@ -20,7 +44,13 @@ from dataclasses import dataclass, field
 from ..dram.config import DRAMConfig
 from ..dram.device import DRAMDevice
 
-__all__ = ["DefenseAction", "OverheadReport", "Defense", "NoDefense"]
+__all__ = [
+    "DefenseAction",
+    "RunAction",
+    "OverheadReport",
+    "Defense",
+    "NoDefense",
+]
 
 KIB = 1024
 MIB = 1024 * 1024
@@ -34,6 +64,23 @@ class DefenseAction:
     refreshed_victims: int = 0
     moved_rows: int = 0
     note: str = ""
+
+
+@dataclass(frozen=True)
+class RunAction:
+    """A defense's plan for a run of identical activations.
+
+    Attributes:
+        count: Upcoming ACTs of the planned row that are uniform (see
+            :meth:`Defense.plan_activate_run`); 0 means the very next
+            ACT may act and must take the scalar path.
+        extra_ns: Mitigation latency each of those ACTs charges --
+            identical across the run by the planning contract (e.g.
+            Hydra's per-ACT DRAM row-counter access), usually 0.0.
+    """
+
+    count: int
+    extra_ns: float = 0.0
 
 
 @dataclass
@@ -125,6 +172,36 @@ class Defense(ABC):
         """React to one ACT of (physical) ``row``; default: do nothing."""
         return DefenseAction()
 
+    # ------------------------------------------------------------------
+    # Bulk hooks (the batched engine's fast path)
+    # ------------------------------------------------------------------
+    def plan_activate_run(self, row: int, limit: int) -> RunAction | None:
+        """Plan up to ``limit`` upcoming ACTs of ``row`` for bulk
+        execution.  The returned :class:`RunAction` promises that the
+        next ``count`` scalar ``on_activate(row, ...)`` calls would each
+        produce ``DefenseAction(extra_ns=plan.extra_ns)`` and mutate
+        nothing beyond deterministic counter increments.
+
+        Default: ``None`` -- the defense has not opted in and the
+        controller keeps the request-at-a-time scalar path.
+        """
+        return None
+
+    def on_activate_run(
+        self, row: int, count: int, now_ns: float, step_ns: float
+    ) -> None:
+        """Commit the state updates of ``count`` planned ACTs of
+        ``row`` in bulk, bit-identical to the scalar loop.  Only called
+        after :meth:`plan_activate_run` returned a plan with
+        ``plan.count >= count``.  ``now_ns`` is the simulated time of
+        the run's first activation and ``step_ns`` the per-ACT advance.
+
+        Default: replay through :meth:`on_activate` (correct for any
+        subclass that overrides only the planner, at scalar cost).
+        """
+        for index in range(count):
+            self.on_activate(row, now_ns + index * step_ns)
+
     @abstractmethod
     def overhead(self, config: DRAMConfig) -> OverheadReport:
         """Storage and area cost for Table I under ``config``."""
@@ -154,6 +231,16 @@ class NoDefense(Defense):
     """Unprotected baseline."""
 
     name = "none"
+
+    def plan_activate_run(self, row: int, limit: int) -> RunAction | None:
+        # The base on_activate neither checks windows nor charges; a
+        # whole run is uniform by construction.
+        return RunAction(limit)
+
+    def on_activate_run(
+        self, row: int, count: int, now_ns: float, step_ns: float
+    ) -> None:
+        pass
 
     def overhead(self, config: DRAMConfig) -> OverheadReport:
         return OverheadReport(

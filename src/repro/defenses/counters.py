@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..dram.config import DRAMConfig
-from .base import MIB, Defense, DefenseAction, OverheadReport
+from .base import MIB, Defense, DefenseAction, OverheadReport, RunAction
 
 __all__ = ["CounterPerRow", "CounterTree"]
 
@@ -43,6 +43,17 @@ class CounterPerRow(Defense):
             self._counts[row] = 0
             action.note = "cpr-mitigation"
         return self._charge(action)
+
+    def plan_activate_run(self, row: int, limit: int) -> RunAction | None:
+        self._window_check()
+        assert self.threshold is not None
+        count = self._counts.get(row, 0)
+        return RunAction(max(0, min(limit, self.threshold - 1 - count)))
+
+    def on_activate_run(
+        self, row: int, count: int, now_ns: float, step_ns: float
+    ) -> None:
+        self._counts[row] = self._counts.get(row, 0) + count
 
     def on_refresh_window(self) -> None:
         self._counts.clear()
@@ -111,6 +122,25 @@ class CounterTree(Defense):
             node.count = 0
             action.note = "counter-tree-mitigation"
         return self._charge(action)
+
+    def plan_activate_run(self, row: int, limit: int) -> RunAction | None:
+        """Quiet while the row's leaf counter increments below its next
+        event: a split for coarse nodes, a mitigation for leaf-span
+        nodes.  Splits and mitigations run scalar."""
+        self._window_check()
+        assert self.split_threshold is not None
+        assert self.mitigation_threshold is not None
+        node = self._descend(row)
+        if node.span > self.min_span:
+            quiet = self.split_threshold - 1 - node.count
+        else:
+            quiet = self.mitigation_threshold - 1 - node.count
+        return RunAction(max(0, min(limit, quiet)))
+
+    def on_activate_run(
+        self, row: int, count: int, now_ns: float, step_ns: float
+    ) -> None:
+        self._descend(row).count += count
 
     def _descend(self, row: int) -> _Node:
         node = self._nodes[self._root_key]

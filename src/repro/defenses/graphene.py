@@ -10,7 +10,7 @@ counter-per-row storage.  Mitigation is a victim refresh.
 from __future__ import annotations
 
 from ..dram.config import DRAMConfig
-from .base import MIB, Defense, DefenseAction, OverheadReport
+from .base import MIB, Defense, DefenseAction, OverheadReport, RunAction
 from .trackers import MisraGries
 
 __all__ = ["Graphene"]
@@ -46,6 +46,25 @@ class Graphene(Defense):
             table.reset_item(row)
             action.note = "graphene-mitigation"
         return self._charge(action)
+
+    def plan_activate_run(self, row: int, limit: int) -> RunAction | None:
+        """Quiet while the row's Misra-Gries counter just increments
+        below the mitigation threshold; insertions, decrement-alls and
+        threshold crossings are scalar chunk boundaries."""
+        self._window_check()
+        assert self.device is not None
+        table = self._tables.get(self.device.mapper.row_address(row).bank)
+        if table is None:
+            return RunAction(0)
+        assert self.threshold is not None
+        return RunAction(min(limit, table.quiet_span(row, self.threshold)))
+
+    def on_activate_run(
+        self, row: int, count: int, now_ns: float, step_ns: float
+    ) -> None:
+        assert self.device is not None
+        bank = self.device.mapper.row_address(row).bank
+        self._tables[bank].absorb_run(row, count)
 
     def on_refresh_window(self) -> None:
         for table in self._tables.values():

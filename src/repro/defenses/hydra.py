@@ -10,7 +10,8 @@ bandwidth -- the price of ultra-low-threshold protection with tiny SRAM.
 from __future__ import annotations
 
 from ..dram.config import DRAMConfig
-from .base import KIB, Defense, DefenseAction, OverheadReport
+from ..dram.stats import walk_add
+from .base import KIB, Defense, DefenseAction, OverheadReport, RunAction
 
 __all__ = ["Hydra"]
 
@@ -64,6 +65,44 @@ class Hydra(Defense):
                 self._row_counts[row] = 0
                 action.note = "hydra-mitigation"
         return self._charge(action)
+
+    def plan_activate_run(self, row: int, limit: int) -> RunAction | None:
+        """Two uniform regimes: pre-escalation group-counter increments
+        (free) and post-escalation exact row counters (one DRAM row
+        cycle per ACT).  Group overflows and row-threshold crossings
+        are scalar chunk boundaries."""
+        self._window_check()
+        assert self.device is not None
+        assert self.group_threshold is not None
+        assert self.row_threshold is not None
+        group = row // self.group_size
+        if group not in self._escalated:
+            count = self._group_counts.get(group, 0)
+            quiet = max(0, self.group_threshold - 1 - count)
+            return RunAction(min(limit, quiet))
+        count = self._row_counts.get(row, self.group_threshold)
+        quiet = max(0, self.row_threshold - 1 - count)
+        return RunAction(min(limit, quiet), extra_ns=self.device.timing.trc)
+
+    def on_activate_run(
+        self, row: int, count: int, now_ns: float, step_ns: float
+    ) -> None:
+        assert self.device is not None
+        group = row // self.group_size
+        if group not in self._escalated:
+            self._group_counts[group] = (
+                self._group_counts.get(group, 0) + count
+            )
+            return
+        self.row_counter_accesses += count
+        self._row_counts[row] = (
+            self._row_counts.get(row, self.group_threshold) + count
+        )
+        # Scalar ``_charge`` adds trc and bumps ``actions`` per ACT.
+        self.mitigation_ns_total = walk_add(
+            self.mitigation_ns_total, self.device.timing.trc, count
+        )
+        self.actions += count
 
     def on_refresh_window(self) -> None:
         self._group_counts.clear()

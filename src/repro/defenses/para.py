@@ -5,6 +5,20 @@ probability ``p``, refresh the activated row's neighbours.  Choosing
 ``p`` so that ``TRH`` activations almost surely include one mitigation
 makes hammering statistically ineffective, at the cost of refresh
 traffic proportional to the activation rate.
+
+Bulk execution: numpy's ``Generator.random(n)`` produces the exact
+draw sequence ``n`` scalar ``Generator.random()`` calls would (both
+consume the bit generator identically; pinned by the equivalence
+suite), so the planner vectorizes the lookahead -- draw a batch, find
+the first sub-``p`` value, and run everything before it as one chunk.
+Drawn-ahead values are buffered and consumed first by every later
+draw, scalar or bulk, keeping the stream -- and hence every mitigation
+decision -- bit-identical to the scalar loop.  The planner never looks
+further ahead than the remaining ACTs of the current run, so the
+buffer drains by the end of the run and the generator state matches
+the scalar path's (the one exception: a DRAM-Locker deadline that
+re-locks the row mid-run strands the tail of a lookahead in the
+buffer; the stream, and therefore all outcomes, stay identical).
 """
 
 from __future__ import annotations
@@ -12,7 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..dram.config import DRAMConfig
-from .base import Defense, DefenseAction, OverheadReport
+from .base import Defense, DefenseAction, OverheadReport, RunAction
 
 __all__ = ["PARA"]
 
@@ -26,14 +40,47 @@ class PARA(Defense):
             raise ValueError("probability must be in (0, 1]")
         self.probability = probability
         self.rng = np.random.default_rng(seed)
+        self._pending = np.empty(0)
+        self._cursor = 0
+
+    def _next_draw(self) -> float:
+        if self._cursor < self._pending.size:
+            value = float(self._pending[self._cursor])
+            self._cursor += 1
+            return value
+        return float(self.rng.random())
+
+    def pending_draws(self) -> int:
+        """Drawn-ahead values not yet consumed (0 outside bulk runs)."""
+        return self._pending.size - self._cursor
 
     def on_activate(self, row: int, now_ns: float) -> DefenseAction:
         self._window_check()
         action = DefenseAction()
-        if self.rng.random() < self.probability:
+        if self._next_draw() < self.probability:
             self._refresh_victims(row, action)
             action.note = "para-refresh"
         return self._charge(action)
+
+    def plan_activate_run(self, row: int, limit: int) -> RunAction | None:
+        self._window_check()
+        available = self._pending.size - self._cursor
+        if available < limit:
+            fresh = self.rng.random(limit - available)
+            self._pending = np.concatenate(
+                [self._pending[self._cursor :], fresh]
+            )
+            self._cursor = 0
+        window = self._pending[self._cursor : self._cursor + limit]
+        below = np.nonzero(window < self.probability)[0]
+        quiet = int(below[0]) if below.size else limit
+        return RunAction(quiet)
+
+    def on_activate_run(
+        self, row: int, count: int, now_ns: float, step_ns: float
+    ) -> None:
+        # Every planned draw was >= p: consume, nothing else happens.
+        self._cursor += count
 
     def overhead(self, config: DRAMConfig) -> OverheadReport:
         """PARA stores nothing: one RNG and a comparator."""

@@ -10,13 +10,23 @@ carries the published overhead row and otherwise acts as a no-op.
 from __future__ import annotations
 
 from ..dram.config import DRAMConfig
-from .base import MIB, Defense, OverheadReport
+from .base import MIB, Defense, OverheadReport, RunAction
 
 __all__ = ["PPIM"]
 
 
 class PPIM(Defense):
     name = "P-PIM"
+
+    def plan_activate_run(self, row: int, limit: int) -> RunAction | None:
+        # Behavioural no-op (like the base on_activate): whole runs are
+        # uniform and commit nothing.
+        return RunAction(limit)
+
+    def on_activate_run(
+        self, row: int, count: int, now_ns: float, step_ns: float
+    ) -> None:
+        pass
 
     def overhead(self, config: DRAMConfig) -> OverheadReport:
         """Table I row: 4.125 MB DRAM, 0.34 % area."""

@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..dram.config import DRAMConfig
-from .base import MIB, Defense, DefenseAction, OverheadReport
+from .base import MIB, Defense, DefenseAction, OverheadReport, RunAction
 from .permutation import RowPermutation
 from .trackers import MisraGries
 
@@ -60,6 +60,27 @@ class RRS(Defense):
             self._swap_with_random(row, action)
             table.reset_item(row)
         return self._charge(action)
+
+    def plan_activate_run(self, row: int, limit: int) -> RunAction | None:
+        """Quiet while the tracked row's estimate increments below the
+        swap threshold; swaps (which re-route ``translate``) and table
+        maintenance are scalar chunk boundaries."""
+        self._window_check()
+        assert self.device is not None
+        table = self._tables.get(self.device.mapper.row_address(row).bank)
+        if table is None:
+            return RunAction(0)
+        assert self.swap_threshold is not None
+        return RunAction(
+            min(limit, table.quiet_span(row, self.swap_threshold))
+        )
+
+    def on_activate_run(
+        self, row: int, count: int, now_ns: float, step_ns: float
+    ) -> None:
+        assert self.device is not None
+        bank = self.device.mapper.row_address(row).bank
+        self._tables[bank].absorb_run(row, count)
 
     def _swap_with_random(self, row: int, action: DefenseAction) -> None:
         assert self.device is not None

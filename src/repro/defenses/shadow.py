@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..dram.config import DRAMConfig
-from .base import Defense, DefenseAction, OverheadReport
+from .base import Defense, DefenseAction, OverheadReport, RunAction
 from .permutation import RowPermutation
 
 __all__ = ["Shadow"]
@@ -53,6 +53,24 @@ class Shadow(Defense):
             self._shuffle(row, action)
         self._subarray_acts[key] = count
         return self._charge(action)
+
+    def plan_activate_run(self, row: int, limit: int) -> RunAction | None:
+        """Quiet while the subarray's activation count stays below the
+        shuffle period; the shuffling ACT itself (data moves, the
+        permutation re-routes ``translate``) runs scalar."""
+        self._window_check()
+        assert self.device is not None
+        addr = self.device.mapper.row_address(row)
+        count = self._subarray_acts.get((addr.bank, addr.subarray), 0)
+        return RunAction(max(0, min(limit, self.shuffle_period - 1 - count)))
+
+    def on_activate_run(
+        self, row: int, count: int, now_ns: float, step_ns: float
+    ) -> None:
+        assert self.device is not None
+        addr = self.device.mapper.row_address(row)
+        key = (addr.bank, addr.subarray)
+        self._subarray_acts[key] = self._subarray_acts.get(key, 0) + count
 
     def _shuffle(self, row: int, action: DefenseAction) -> None:
         assert self.device is not None

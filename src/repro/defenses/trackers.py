@@ -48,6 +48,23 @@ class MisraGries:
     def estimate(self, item: int) -> int:
         return self.counters.get(item, 0)
 
+    def quiet_span(self, item: int, ceiling: int) -> int:
+        """Consecutive observations of a *tracked* ``item`` before its
+        estimate reaches ``ceiling`` -- each a pure increment (no
+        insertion, no decrement-all), so a bulk caller may absorb them
+        via :meth:`absorb_run`.  0 when the item is untracked (the next
+        observation inserts or decrements, which is stateful)."""
+        count = self.counters.get(item)
+        if count is None:
+            return 0
+        return max(0, ceiling - 1 - count)
+
+    def absorb_run(self, item: int, count: int) -> None:
+        """Closed-form commit of ``count`` increment-only observations
+        of a tracked item (caller respects :meth:`quiet_span`)."""
+        self.observations += count
+        self.counters[item] += count
+
     def reset(self) -> None:
         self.counters.clear()
         self.decrements = 0

@@ -10,7 +10,7 @@ and the reason the paper's Table I baselines moved to bigger trackers.
 from __future__ import annotations
 
 from ..dram.config import DRAMConfig
-from .base import Defense, DefenseAction, OverheadReport
+from .base import Defense, DefenseAction, OverheadReport, RunAction
 
 __all__ = ["TRR"]
 
@@ -48,6 +48,21 @@ class TRR(Defense):
                 self._counts[row] = 0
                 action.note = "trr-mitigation"
         return self._charge(action)
+
+    def plan_activate_run(self, row: int, limit: int) -> RunAction | None:
+        """Quiet while the sampler just increments: the row must already
+        be tracked (insertion may evict) and stay under the threshold."""
+        self._window_check()
+        count = self._counts.get(row)
+        if count is None:
+            return RunAction(0)
+        assert self.threshold is not None
+        return RunAction(max(0, min(limit, self.threshold - 1 - count)))
+
+    def on_activate_run(
+        self, row: int, count: int, now_ns: float, step_ns: float
+    ) -> None:
+        self._counts[row] += count
 
     def on_refresh_window(self) -> None:
         self._counts.clear()

@@ -9,7 +9,7 @@ count crosses the mitigation threshold get their victims refreshed.
 from __future__ import annotations
 
 from ..dram.config import DRAMConfig
-from .base import MIB, Defense, DefenseAction, OverheadReport
+from .base import MIB, Defense, DefenseAction, OverheadReport, RunAction
 
 __all__ = ["TWiCE"]
 
@@ -48,6 +48,24 @@ class TWiCE(Defense):
         if self._since_prune >= self.prune_period:
             self._prune()
         return self._charge(action)
+
+    def plan_activate_run(self, row: int, limit: int) -> RunAction | None:
+        """Quiet below both the mitigation threshold and the next prune
+        checkpoint (pruning rebuilds the table, so it runs scalar)."""
+        self._window_check()
+        assert self.threshold is not None
+        count = self._counts.get(row, 0)
+        quiet = min(
+            self.threshold - 1 - count,
+            self.prune_period - 1 - self._since_prune,
+        )
+        return RunAction(max(0, min(limit, quiet)))
+
+    def on_activate_run(
+        self, row: int, count: int, now_ns: float, step_ns: float
+    ) -> None:
+        self._counts[row] = self._counts.get(row, 0) + count
+        self._since_prune += count
 
     def _prune(self) -> None:
         """Drop cold entries at the checkpoint (TWiCE's table bound)."""

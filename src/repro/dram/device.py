@@ -29,7 +29,7 @@ from .config import DRAMConfig
 from .energy import DDR4_ENERGY, EnergyParams
 from .refresh import RefreshEngine
 from .rowhammer import BitFlip, Disturbance, RowHammerModel
-from .stats import MemoryStats
+from .stats import MemoryStats, walk_add_many
 from .subarray import Bank, Subarray
 from .timing import DDR4_2400, TimingParams
 from .vulnerability import VulnerabilityMap
@@ -142,15 +142,11 @@ class DRAMDevice:
         stats = self.stats
         stats.reads += bursts
         breakdown = stats.energy
-        e_rd = self.energy.e_rd_burst
-        e_io = self.energy.e_io_burst
-        read_acc = breakdown.read
-        io_acc = breakdown.io
-        for _ in range(bursts):
-            read_acc += e_rd
-            io_acc += e_io
-        breakdown.read = read_acc
-        breakdown.io = io_acc
+        breakdown.read, breakdown.io = walk_add_many(
+            (breakdown.read, breakdown.io),
+            (self.energy.e_rd_burst, self.energy.e_io_burst),
+            bursts,
+        )
 
     def write_burst_run(
         self, row_index: int, column: int, bursts: int, data: np.ndarray
@@ -166,15 +162,11 @@ class DRAMDevice:
         stats = self.stats
         stats.writes += bursts
         breakdown = stats.energy
-        e_wr = self.energy.e_wr_burst
-        e_io = self.energy.e_io_burst
-        write_acc = breakdown.write
-        io_acc = breakdown.io
-        for _ in range(bursts):
-            write_acc += e_wr
-            io_acc += e_io
-        breakdown.write = write_acc
-        breakdown.io = io_acc
+        breakdown.write, breakdown.io = walk_add_many(
+            (breakdown.write, breakdown.io),
+            (self.energy.e_wr_burst, self.energy.e_io_burst),
+            bursts,
+        )
         row = self.peek_row(row_index, copy=False)
         for burst in range(bursts):
             start = min(column + burst * 64, cap)

@@ -35,6 +35,12 @@ class RefreshEngine:
             self._refresh_slice()
             self.next_ref_ns += self.device.timing.trefi
 
+    def quiet_steps(self, now_ns: float, step_ns: float) -> int:
+        """How many ``step_ns``-sized steps fit before the next REF is
+        due, with the one-step safety margin the bulk engine uses to
+        keep every refresh tick on the scalar path."""
+        return int((self.next_ref_ns - now_ns) / step_ns) - 1
+
     def _refresh_slice(self) -> None:
         device = self.device
         total = device.config.total_rows

@@ -88,6 +88,29 @@ class RowHammerModel:
         """Activations of a row since its last refresh."""
         return self.counters.get(row_index, 0)
 
+    def quiet_span(self, row_index: int) -> int:
+        """ACTs of ``row_index`` guaranteed not to cross a disturbance
+        threshold (TRH or the Half-Double threshold), in closed form.
+
+        The bulk execution engine uses this as a chunk bound: the
+        crossing ACT itself always runs on the scalar path so flips
+        land on exactly the same request index as a scalar loop.
+        """
+        count = self.counters.get(row_index, 0)
+        away = self.trh - (count % self.trh) - 1
+        if self.half_double_factor is not None:
+            hd_threshold = int(self.trh * self.half_double_factor)
+            if hd_threshold > 0:
+                away = min(away, hd_threshold - (count % hd_threshold) - 1)
+        return away
+
+    def charge_activations(self, row_index: int, count: int) -> None:
+        """Closed-form bulk counter bump for ``count`` ACTs; the caller
+        guarantees ``count <= quiet_span(row_index)`` so no disturbance
+        event can fall inside the run."""
+        if count:
+            self.counters[row_index] = self.counters.get(row_index, 0) + count
+
     # ------------------------------------------------------------------
     # Refresh interactions
     # ------------------------------------------------------------------

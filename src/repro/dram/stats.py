@@ -1,10 +1,61 @@
-"""Counters and energy accounting shared by the device and controller."""
+"""Counters and energy accounting shared by the device and controller.
+
+Also home of the *sequential accumulator* helpers the bulk execution
+paths use: :func:`walk_add` / :func:`walk_add_many` replay ``count``
+repeated ``acc += step`` float additions at C speed (one
+``np.add.accumulate`` pass), producing the **bit-identical** final
+value the Python walk would -- IEEE-754 addition folded strictly
+left-to-right, which is what every scalar hot loop in this codebase
+does.  The equivalence is pinned float-for-float by
+``tests/test_batch_execution.py``; callers that cannot express their
+update as a constant-step fold must keep the explicit walk.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
-__all__ = ["EnergyBreakdown", "MemoryStats"]
+import numpy as np
+
+__all__ = ["EnergyBreakdown", "MemoryStats", "walk_add", "walk_add_many"]
+
+#: Below this run length the Python fold beats the numpy call overhead.
+_WALK_VECTOR_MIN = 16
+
+
+def walk_add(acc: float, step: float, count: int) -> float:
+    """``count`` sequential ``acc += step`` additions, bit-identical to
+    the scalar walk (``np.add.accumulate`` folds left-to-right)."""
+    if count < _WALK_VECTOR_MIN:
+        for _ in range(count):
+            acc += step
+        return acc
+    buffer = np.empty(count + 1)
+    buffer[0] = acc
+    buffer[1:] = step
+    np.add.accumulate(buffer, out=buffer)
+    return float(buffer[-1])
+
+
+def walk_add_many(
+    accs: Sequence[float], steps: Sequence[float], count: int
+) -> tuple[float, ...]:
+    """Run several independent constant-step walks of one shared length
+    in a single ``np.add.accumulate`` pass; returns the final values in
+    input order, each bit-identical to its scalar walk."""
+    if count < _WALK_VECTOR_MIN:
+        results = []
+        for acc, step in zip(accs, steps):
+            for _ in range(count):
+                acc += step
+            results.append(acc)
+        return tuple(results)
+    buffer = np.empty((len(accs), count + 1))
+    buffer[:, 0] = accs
+    buffer[:, 1:] = np.asarray(steps, dtype=np.float64)[:, None]
+    np.add.accumulate(buffer, axis=1, out=buffer)
+    return tuple(float(value) for value in buffer[:, -1])
 
 
 @dataclass

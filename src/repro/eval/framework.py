@@ -81,7 +81,7 @@ class CrossLayerPipeline:
         clean = qmodel.model.accuracy(dataset.test_x, dataset.test_y)
         system = build_system(qmodel, protected=self.protected)
         # One inference worth of weight streaming, through the batch engine.
-        system.store.stream_inference(system.controller)
+        system.store.stream_inference(system.controller, summary=True)
         hook = _background_tenant_hook(system) if self.protected else None
         attack = ProgressiveBitSearch(
             qmodel,

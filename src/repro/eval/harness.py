@@ -55,6 +55,7 @@ from ..defenses import (
     TWiCE,
 )
 from ..attacks import available_attacks
+from ..attacks.hammer import HammerDriver
 from ..dram.config import DRAMConfig
 from ..dram.device import DRAMDevice
 from ..dram.vulnerability import VulnerabilityMap
@@ -94,6 +95,7 @@ __all__ = [
     "quick_scenarios",
     "SCENARIO_RUNNERS",
     "DEFENSE_BUILDERS",
+    "DEFENDED_HAMMER_DEFENSES",
 ]
 
 
@@ -375,6 +377,93 @@ def _run_defense_campaign(
     }
 
 
+#: Defense factories for the defended-hammer workload.  Unlike
+#: :data:`DEFENSE_BUILDERS` (tuned for the TRH=400 per-ACT campaign),
+#: these leave thresholds unset so each defense derives its operating
+#: point from the device's TRH at attach time; PARA runs at its
+#: published ~1/TRH probability.
+DEFENDED_HAMMER_DEFENSES: dict[str, Callable[[], Any] | None] = {
+    "None": lambda: NoDefense(),
+    "PARA": lambda: PARA(probability=0.001),
+    "TRR": lambda: TRR(table_entries=16),
+    "Graphene": lambda: Graphene(table_entries=64),
+    "Hydra": lambda: Hydra(group_size=16),
+    "TWiCE": lambda: TWiCE(),
+    "Counter/Row": lambda: CounterPerRow(),
+    "CounterTree": lambda: CounterTree(),
+    "RRS": lambda: RRS(seed=1),
+    "SRS": lambda: SRS(seed=1),
+    "SHADOW": lambda: Shadow(shuffle_period=1000, seed=1),
+    "DRAM-Locker": None,  # handled via the locker, not a Defense
+}
+
+
+def _run_defended_hammer(
+    scale: Scale,
+    seed: int,
+    defense: str = "TRR",
+    trh: int = 3000,
+    patience: float = 2.0,
+    victims: int = 2,
+    engine: str = "bulk",
+) -> dict:
+    """The ``HammerDriver.hammer_bit`` hot loop under a DRAM-level
+    defense: double-sided TRH-burst campaigns against templated victim
+    bits -- the defended analogue of the attack matrix's hammer layer
+    and the unit ``benchmarks/bench_defended_hammer.py`` times scalar
+    vs bulk.  Deterministic for fixed parameters; the payload carries
+    no wall-clock, so engines must agree bit-for-bit."""
+    config = DRAMConfig.small()
+    vulnerability = VulnerabilityMap(config, weak_cell_fraction=0.0)
+    device = DRAMDevice(config, vulnerability=vulnerability, trh=trh)
+    victim_rows = [
+        device.mapper.row_index((0, 0, 15 + 6 * index))
+        for index in range(victims)
+    ]
+    use_locker = defense == "DRAM-Locker"
+    locker = None
+    baseline = None
+    if use_locker:
+        locker = DRAMLocker(device, LockerConfig())
+        locker.protect(victim_rows)
+    else:
+        builder = DEFENDED_HAMMER_DEFENSES.get(defense)
+        if builder is None:
+            raise ValueError(f"unknown defense {defense!r}")
+        baseline = builder()
+    controller = MemoryController(
+        device, defense=baseline, locker=locker, engine=engine
+    )
+    driver = HammerDriver(controller, patience=patience)
+
+    outcomes = []
+    for row in victim_rows:
+        outcome = driver.hammer_bit(row, victim_bit=5)
+        outcomes.append(
+            {
+                "victim_row": outcome.victim_row,
+                "flipped": outcome.flipped,
+                "issued": outcome.activations_issued,
+                "blocked": outcome.activations_blocked,
+            }
+        )
+    stats = device.stats
+    return {
+        "defense": defense,
+        "engine": engine,
+        "trh": trh,
+        "outcomes": outcomes,
+        "protected_bits_flipped": sum(1 for o in outcomes if o["flipped"]),
+        "mitigation_ns": (
+            baseline.mitigation_ns_total
+            if baseline is not None
+            else stats.defense_ns
+        ),
+        "defense_actions": baseline.actions if baseline is not None else 0,
+        "memory_stats": stats.as_dict(),
+    }
+
+
 def _run_attack(scale: Scale, seed: int, **params) -> dict:
     return run_attack_scenario(scale=_seeded(scale, seed), **params)
 
@@ -396,6 +485,7 @@ SCENARIO_RUNNERS: dict[str, Callable[..., dict]] = {
     "ablation_layout": _run_layout_ablation,
     "ablation_relock": _run_relock_ablation,
     "defense_campaign": _run_defense_campaign,
+    "defended_hammer": _run_defended_hammer,
 }
 
 

@@ -22,10 +22,12 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "ATTACK_SEARCH_SCHEMA",
+    "DEFENDED_HAMMER_SCHEMA",
     "RegressionReport",
     "protected_accuracies",
     "compare_artifacts",
     "compare_attack_search",
+    "compare_defended_hammer",
     "load_artifact",
 ]
 
@@ -34,6 +36,10 @@ LOCKED_LABEL = "with DRAM-Locker"
 #: Schema tag of the attack-search microbenchmark artifact
 #: (``benchmarks/bench_attack_search.py``).
 ATTACK_SEARCH_SCHEMA = "dram-locker-attack-search-bench/1"
+
+#: Schema tag of the defended-hammer microbenchmark artifact
+#: (``benchmarks/bench_defended_hammer.py``).
+DEFENDED_HAMMER_SCHEMA = "dram-locker-defended-hammer-bench/1"
 
 
 def load_artifact(path: str) -> dict:
@@ -170,4 +176,44 @@ def compare_attack_search(
         report.violations.append(
             "persistent worker pool changed matrix results"
         )
+    return report
+
+
+def compare_defended_hammer(
+    current: dict,
+    baseline: dict,
+    speedup_tolerance: float = 0.25,
+) -> RegressionReport:
+    """Regression gate for the defended-hammer microbenchmark artifact.
+
+    Mirrors :func:`compare_attack_search`: the bulk engine must still
+    match the scalar reference bit-for-bit in every defense cell (a
+    correctness property, no tolerance), and each cell's *speedup
+    ratio* -- which transfers across runner classes, unlike wall-clock
+    -- must not have shrunk more than ``speedup_tolerance`` versus the
+    committed baseline.
+    """
+    report = RegressionReport()
+    current_defenses = current.get("defenses", {})
+    for name, cell in sorted(current_defenses.items()):
+        if not cell.get("results_identical", False):
+            report.violations.append(
+                f"{name}: bulk engine diverged from the scalar reference"
+            )
+    for name, base_cell in sorted(baseline.get("defenses", {}).items()):
+        cell = current_defenses.get(name)
+        if cell is None:
+            report.violations.append(
+                f"defense {name!r} missing from current artifact"
+            )
+            continue
+        floor = base_cell["speedup"] * (1.0 - speedup_tolerance)
+        check = (
+            f"{name}: speedup {cell['speedup']:.2f}x vs baseline "
+            f"{base_cell['speedup']:.2f}x (floor {floor:.2f}x)"
+        )
+        if cell["speedup"] < floor:
+            report.violations.append(check)
+        else:
+            report.checks.append(check)
     return report

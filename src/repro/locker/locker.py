@@ -31,6 +31,7 @@ from ..controller.request import MemRequest
 from ..defenses.base import OverheadReport
 from ..dram.config import DRAMConfig
 from ..dram.device import DRAMDevice
+from ..dram.stats import walk_add
 from .lock_table import LOCK_LOOKUP_NS, LockTable
 from .planner import LockMode, ProtectionPlan, plan_protection
 from .swap import SwapEngine
@@ -198,11 +199,9 @@ class DRAMLocker:
         self.rw_instructions += count
         stats = self.device.stats
         stats.lock_lookups += count
-        e_lock = self.device.energy.e_lock_lookup
-        acc = stats.energy.lock_table
-        for _ in range(count):
-            acc += e_lock
-        stats.energy.lock_table = acc
+        stats.energy.lock_table = walk_add(
+            stats.energy.lock_table, self.device.energy.e_lock_lookup, count
+        )
         self.table.charge_lookups(count, count if hit else 0)
 
     def charge_bulk_blocked(self, count: int) -> None:

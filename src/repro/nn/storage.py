@@ -215,7 +215,15 @@ class WeightStore:
             for row in self.data_rows
         ]
 
-    def stream_inference(self, controller, privileged: bool = True):
+    def stream_inference(
+        self, controller, privileged: bool = True, summary: bool = False
+    ):
         """Execute one forward pass worth of weight streaming through the
-        controller's batched engine; returns the per-request results."""
-        return controller.execute_batch(self.inference_requests(privileged))
+        controller's batched engine; returns the per-request results, or
+        -- with ``summary=True`` -- one allocation-free
+        :class:`~repro.controller.request.RunSummary` (same device
+        state, no per-request result objects)."""
+        requests = self.inference_requests(privileged)
+        if summary:
+            return controller.execute_summary(requests)
+        return controller.execute_batch(requests)

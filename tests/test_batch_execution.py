@@ -4,14 +4,21 @@
 calling ``execute`` in a loop on the same request stream: same
 ``RequestResult`` fields, same ``MemoryStats`` (bit-for-bit, including
 the float energy accumulators), same RowHammer counters, same locker
-bookkeeping, same stored bytes.
+bookkeeping, same stored bytes.  With a baseline defense installed the
+contract extends to the defense itself: same tracker tables, same
+mitigation accounting, same RNG stream position.  Summary mode
+(``execute_run`` / ``execute_summary``) must leave identical device
+state while reducing the stream to one ``RunSummary``.
 """
 
 import numpy as np
 import pytest
 
-from repro.controller import Kind, MemRequest, MemoryController
+from repro.controller import Kind, MemRequest, MemoryController, RequestRun
+from repro.defenses import PARA
 from repro.dram import DRAMConfig, DRAMDevice, VulnerabilityMap
+from repro.dram.stats import walk_add, walk_add_many
+from repro.eval.harness import DEFENSE_BUILDERS
 from repro.locker import DRAMLocker, LockerConfig
 
 
@@ -180,3 +187,296 @@ def test_read_write_burst_runs_match_scalar_loops():
     assert_results_equal(scalar, batched)
     assert device_a.stats.as_dict() == device_b.stats.as_dict()
     assert np.array_equal(device_a.peek_row(5), device_b.peek_row(5))
+
+
+# ----------------------------------------------------------------------
+# Sequential-accumulator helpers (the vectorized float walks)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "acc,step",
+    [
+        (0.0, 18.0),
+        (1.2, 46.25),
+        (1e16, 0.1),  # step partially absorbed by the accumulator
+        (3.7e-3, 1e-18),  # step fully absorbed
+        (123456.789, 0.0),
+        (-5.5, 1.0 / 3.0),
+    ],
+)
+@pytest.mark.parametrize("count", [0, 1, 7, 15, 16, 17, 1000])
+def test_walk_add_bitwise_matches_python_fold(acc, step, count):
+    expected = acc
+    for _ in range(count):
+        expected += step
+    assert walk_add(acc, step, count) == expected
+
+
+def test_walk_add_many_bitwise_matches_python_folds():
+    rng = np.random.default_rng(11)
+    accs = tuple(float(v) for v in rng.normal(scale=1e9, size=6))
+    steps = tuple(float(v) for v in rng.random(6) * 50.0)
+    for count in (0, 3, 16, 257):
+        expected = []
+        for acc, step in zip(accs, steps):
+            for _ in range(count):
+                acc += step
+            expected.append(acc)
+        assert walk_add_many(accs, steps, count) == tuple(expected)
+
+
+def test_para_vectorized_draws_match_scalar_stream():
+    """numpy's Generator.random(n) must be the same draw sequence as n
+    scalar .random() calls -- the PARA bulk planner's equivalence
+    argument."""
+    scalar_rng = np.random.default_rng(42)
+    vector_rng = np.random.default_rng(42)
+    scalar = [scalar_rng.random() for _ in range(257)]
+    vector = vector_rng.random(257)
+    assert scalar == list(vector)
+    assert scalar_rng.bit_generator.state == vector_rng.bit_generator.state
+
+
+# ----------------------------------------------------------------------
+# RequestRun: run-length request representation
+# ----------------------------------------------------------------------
+def test_request_run_is_an_o1_sequence():
+    request = MemRequest(Kind.ACT, 9)
+    run = RequestRun(request, 5)
+    assert len(run) == 5
+    assert run[0] is request and run[4] is request and run[-1] is request
+    assert len(run[1:3]) == 2
+    with pytest.raises(IndexError):
+        run[5]
+    assert list(run) == [request] * 5
+
+
+def test_hammer_issues_run_length_requests():
+    device_a, controller_a, _ = build_system(protected=False)
+    scalar = [
+        controller_a.execute(MemRequest(Kind.ACT, 9, privileged=False))
+        for _ in range(50)
+    ]
+    device_b, controller_b, _ = build_system(protected=False)
+    batched = controller_b.hammer(9, count=50)
+    assert_results_equal(scalar, batched)
+    assert device_a.stats.as_dict() == device_b.stats.as_dict()
+
+
+# ----------------------------------------------------------------------
+# Defense-matrix equivalence: every registered defense, three engines
+# ----------------------------------------------------------------------
+DEFENSE_NAMES = sorted(
+    name for name, builder in DEFENSE_BUILDERS.items() if builder is not None
+)
+
+
+def build_defended_system(name: str, engine: str, trh: int = 64):
+    config = DRAMConfig.tiny()
+    vulnerability = VulnerabilityMap(config, seed=5, weak_cell_fraction=1e-4)
+    device = DRAMDevice(config, vulnerability=vulnerability, trh=trh)
+    defense = DEFENSE_BUILDERS[name]()
+    controller = MemoryController(device, defense=defense, engine=engine)
+    device.vulnerability.register_template(10, [3])
+    device.vulnerability.register_template(49, [2])
+    return device, controller, defense
+
+
+def defended_stream(trh: int = 64) -> list[MemRequest]:
+    """Interleaved double-sided bursts, privileged reads, and a long
+    single-row run: crosses TRH, defense thresholds, Hydra escalation,
+    TWiCE prunes, swap/shuffle periods, and refresh ticks."""
+    requests: list[MemRequest] = []
+    for _ in range(4):
+        for aggressor in (9, 11):
+            requests += [MemRequest(Kind.ACT, aggressor)] * (trh // 2 + 7)
+        requests.append(MemRequest(Kind.READ, 21, privileged=True))
+        requests += [MemRequest(Kind.ACT, 50)] * (2 * trh + 3)
+    return requests
+
+
+def defense_state(defense) -> dict:
+    """Every observable a defense carries, in comparable form."""
+    state = {
+        "mitigation_ns_total": defense.mitigation_ns_total,
+        "actions": defense.actions,
+        "windows_seen": defense._windows_seen,
+    }
+    if hasattr(defense, "rng"):
+        state["rng"] = defense.rng.bit_generator.state
+    if isinstance(defense, PARA):
+        state["pending_draws"] = defense.pending_draws()
+    for attr in (
+        "_counts",
+        "_group_counts",
+        "_row_counts",
+        "_escalated",
+        "row_counter_accesses",
+        "_since_prune",
+        "pruned_entries",
+        "_subarray_acts",
+        "shuffles_performed",
+        "swaps_performed",
+        "splits",
+    ):
+        if hasattr(defense, attr):
+            value = getattr(defense, attr)
+            state[attr] = value.copy() if hasattr(value, "copy") else value
+    if hasattr(defense, "_tables"):
+        state["_tables"] = {
+            bank: (dict(t.counters), t.decrements, t.observations)
+            for bank, t in defense._tables.items()
+        }
+    if hasattr(defense, "_nodes"):
+        state["_nodes"] = {
+            key: (node.count, node.split)
+            for key, node in defense._nodes.items()
+        }
+    if hasattr(defense, "permutation"):
+        state["permutation"] = dict(defense.permutation._where)
+    return state
+
+
+def assert_devices_equal(device_a, device_b):
+    assert device_a.stats.as_dict() == device_b.stats.as_dict()
+    assert device_a.now_ns == device_b.now_ns
+    assert device_a.rowhammer.counters == device_b.rowhammer.counters
+    assert device_a.refresh.cursor == device_b.refresh.cursor
+    assert device_a.refresh.next_ref_ns == device_b.refresh.next_ref_ns
+    for row in (9, 10, 11, 21, 49, 50, 51):
+        assert np.array_equal(device_a.peek_row(row), device_b.peek_row(row))
+
+
+@pytest.mark.parametrize("name", DEFENSE_NAMES)
+def test_defended_batch_matches_scalar(name):
+    requests = defended_stream()
+
+    device_a, controller_a, defense_a = build_defended_system(name, "scalar")
+    scalar_results = [controller_a.execute(r) for r in requests]
+
+    device_b, controller_b, defense_b = build_defended_system(name, "bulk")
+    batch_results = controller_b.execute_batch(requests)
+
+    assert_results_equal(scalar_results, batch_results)
+    assert_devices_equal(device_a, device_b)
+    assert defense_state(defense_a) == defense_state(defense_b)
+
+
+@pytest.mark.parametrize("name", DEFENSE_NAMES)
+def test_defended_summary_matches_scalar(name):
+    requests = defended_stream()
+
+    device_a, controller_a, defense_a = build_defended_system(name, "scalar")
+    scalar_results = [controller_a.execute(r) for r in requests]
+
+    device_b, controller_b, defense_b = build_defended_system(name, "bulk")
+    summary = controller_b.execute_summary(requests)
+
+    assert_devices_equal(device_a, device_b)
+    assert defense_state(defense_a) == defense_state(defense_b)
+
+    # The summary is the in-order reduction of the scalar results.
+    assert summary.requested == len(requests)
+    assert summary.issued == sum(1 for r in scalar_results if not r.blocked)
+    assert summary.blocked == sum(1 for r in scalar_results if r.blocked)
+    latency = 0.0
+    defense_ns = 0.0
+    flips = []
+    for result in scalar_results:
+        latency += result.latency_ns
+        defense_ns += result.defense_ns
+        flips.extend(result.flips)
+    assert summary.latency_ns == latency
+    assert summary.defense_ns == defense_ns
+    assert [(f.row, f.bit, f.time_ns) for f in summary.flips] == [
+        (f.row, f.bit, f.time_ns) for f in flips
+    ]
+
+
+@pytest.mark.parametrize("name", ["TRR", "Hydra", "Graphene"])
+def test_defense_plus_locker_batch_matches_scalar(name):
+    """Locker and baseline defense installed together: the bulk engine
+    must respect both protection layers' chunk boundaries."""
+    requests = defended_stream()
+
+    def build(engine):
+        config = DRAMConfig.tiny()
+        vulnerability = VulnerabilityMap(
+            config, seed=5, weak_cell_fraction=1e-4
+        )
+        device = DRAMDevice(config, vulnerability=vulnerability, trh=64)
+        locker = DRAMLocker(
+            device,
+            LockerConfig(copy_error_rate=0.05, relock_interval=90, seed=7),
+        )
+        locker.lock_rows([9, 21])
+        defense = DEFENSE_BUILDERS[name]()
+        controller = MemoryController(
+            device, defense=defense, locker=locker, engine=engine
+        )
+        device.vulnerability.register_template(10, [3])
+        return device, controller, locker, defense
+
+    device_a, controller_a, locker_a, defense_a = build("scalar")
+    scalar_results = [controller_a.execute(r) for r in requests]
+    device_b, controller_b, locker_b, defense_b = build("bulk")
+    batch_results = controller_b.execute_batch(requests)
+
+    assert_results_equal(scalar_results, batch_results)
+    assert_devices_equal(device_a, device_b)
+    assert defense_state(defense_a) == defense_state(defense_b)
+    assert locker_a.table.lookups == locker_b.table.lookups
+    assert locker_a.table.hits == locker_b.table.hits
+    assert locker_a.rw_instructions == locker_b.rw_instructions
+    assert locker_a.blocked_requests == locker_b.blocked_requests
+    assert locker_a.exposed == locker_b.exposed
+
+
+def test_hammer_run_blocked_path_is_summary_only():
+    device, controller, locker = build_system(protected=True)
+    summary = controller.hammer_run(9, count=200)
+    assert summary.requested == 200
+    assert summary.blocked == 200
+    assert summary.issued == 0
+    assert summary.flips == []
+    assert device.stats.activates == 0
+    assert device.stats.blocked_requests == 200
+    assert locker.blocked_requests == 200
+
+
+def test_hammer_run_matches_hammer_reduction():
+    device_a, controller_a, _ = build_system(protected=True)
+    results = controller_a.hammer(9, count=300)
+    device_b, controller_b, _ = build_system(protected=True)
+    summary = controller_b.hammer_run(9, count=300)
+    assert device_a.stats.as_dict() == device_b.stats.as_dict()
+    assert summary.issued == sum(1 for r in results if not r.blocked)
+    assert summary.blocked == sum(1 for r in results if r.blocked)
+    latency = 0.0
+    for result in results:
+        latency += result.latency_ns
+    assert summary.latency_ns == latency
+
+
+def test_scalar_engine_is_the_reference_loop():
+    requests = defended_stream()
+    device_a, controller_a, defense_a = build_defended_system("TRR", "scalar")
+    via_batch = controller_a.execute_batch(requests)
+
+    config = DRAMConfig.tiny()
+    vulnerability = VulnerabilityMap(config, seed=5, weak_cell_fraction=1e-4)
+    device_b = DRAMDevice(config, vulnerability=vulnerability, trh=64)
+    defense_b = DEFENSE_BUILDERS["TRR"]()
+    controller_b = MemoryController(device_b, defense=defense_b)
+    device_b.vulnerability.register_template(10, [3])
+    device_b.vulnerability.register_template(49, [2])
+    loop = [controller_b.execute(r) for r in requests]
+
+    assert_results_equal(via_batch, loop)
+    assert device_a.stats.as_dict() == device_b.stats.as_dict()
+
+
+def test_engine_validated():
+    config = DRAMConfig.tiny()
+    device = DRAMDevice(config, trh=64)
+    with pytest.raises(ValueError):
+        MemoryController(device, engine="turbo")

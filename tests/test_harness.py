@@ -233,6 +233,51 @@ class TestCampaignRunner:
         assert result.payload["flipped"]
 
 
+class TestDefendedHammerRunner:
+    def _payload(self, defense, engine, trh=400):
+        result = run_scenario(
+            Scenario(
+                "dh", "defended_hammer", QUICK, seed=0,
+                params=(
+                    ("defense", defense), ("trh", trh),
+                    ("victims", 1), ("engine", engine),
+                ),
+            )
+        )
+        assert result.ok, result.error
+        return result.payload
+
+    def test_engines_agree_and_defense_protects(self):
+        def strip(payload):
+            return {k: v for k, v in payload.items() if k != "engine"}
+
+        bulk = self._payload("Graphene", "bulk")
+        scalar = self._payload("Graphene", "scalar")
+        assert strip(bulk) == strip(scalar)
+        assert bulk["protected_bits_flipped"] == 0
+        assert bulk["defense_actions"] > 0
+
+    def test_undefended_campaign_flips_the_bit(self):
+        payload = self._payload("None", "bulk")
+        assert payload["protected_bits_flipped"] == 1
+
+    def test_locker_cell_blocks_everything(self):
+        payload = self._payload("DRAM-Locker", "bulk")
+        assert payload["protected_bits_flipped"] == 0
+        assert all(o["issued"] == 0 for o in payload["outcomes"])
+        assert all(o["blocked"] > 0 for o in payload["outcomes"])
+
+    def test_unknown_defense_reported(self):
+        result = run_scenario(
+            Scenario(
+                "dh", "defended_hammer", QUICK, seed=0,
+                params=(("defense", "nope"),),
+            )
+        )
+        assert not result.ok
+        assert "unknown defense" in result.error
+
+
 class TestPersistentPoolAndProfiling:
     def test_pool_persists_across_matrices(self):
         from repro.eval import harness

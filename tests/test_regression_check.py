@@ -196,3 +196,80 @@ class TestCompareAttackSearch:
         baseline.write_text(json.dumps(doc))
         assert check_main([str(current), str(baseline)]) == 0
         assert "speedup" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# The defended-hammer microbenchmark gate
+# ----------------------------------------------------------------------
+def hammer_artifact(defenses=None):
+    from repro.eval.regression import DEFENDED_HAMMER_SCHEMA
+
+    return {
+        "schema": DEFENDED_HAMMER_SCHEMA,
+        "trh": 3000,
+        "defenses": defenses or {},
+        "timing": {"total_s": 10.0},
+    }
+
+
+HAMMER_CELL = {"scalar_s": 0.18, "bulk_s": 0.01, "speedup": 18.0,
+               "results_identical": True}
+
+
+class TestCompareDefendedHammer:
+    def test_matching_artifacts_pass(self):
+        from repro.eval.regression import compare_defended_hammer
+
+        doc = hammer_artifact({"trr": dict(HAMMER_CELL)})
+        report = compare_defended_hammer(doc, doc)
+        assert report.ok
+        assert "trr" in report.summary()
+
+    def test_divergent_engine_fails(self):
+        from repro.eval.regression import compare_defended_hammer
+
+        bad = dict(HAMMER_CELL, results_identical=False)
+        report = compare_defended_hammer(
+            hammer_artifact({"para": bad}),
+            hammer_artifact({"para": dict(HAMMER_CELL)}),
+        )
+        assert not report.ok
+        assert "diverged" in report.violations[0]
+
+    def test_speedup_ratio_regression_fails(self):
+        from repro.eval.regression import compare_defended_hammer
+
+        slow = dict(HAMMER_CELL, speedup=4.0)
+        report = compare_defended_hammer(
+            hammer_artifact({"trr": slow}),
+            hammer_artifact({"trr": dict(HAMMER_CELL)}),
+            speedup_tolerance=0.25,
+        )
+        assert not report.ok
+        assert "floor 13.50x" in report.violations[0]
+
+    def test_missing_defense_fails(self):
+        from repro.eval.regression import compare_defended_hammer
+
+        report = compare_defended_hammer(
+            hammer_artifact({}),
+            hammer_artifact({"hydra": dict(HAMMER_CELL)}),
+        )
+        assert not report.ok
+        assert "missing" in report.violations[0]
+
+    def test_cli_dispatches_on_schema(self, tmp_path, capsys):
+        import sys
+
+        sys.path.insert(0, "benchmarks")
+        try:
+            from check_regression import main as check_main
+        finally:
+            sys.path.pop(0)
+        current = tmp_path / "BENCH_defended_hammer.json"
+        baseline = tmp_path / "BENCH_defended_hammer_baseline.json"
+        doc = hammer_artifact({"graphene": dict(HAMMER_CELL)})
+        current.write_text(json.dumps(doc))
+        baseline.write_text(json.dumps(doc))
+        assert check_main([str(current), str(baseline)]) == 0
+        assert "graphene" in capsys.readouterr().out
