@@ -12,7 +12,10 @@ microbenchmark artifacts -- attack-search
 (``bench_attack_search.py``) and defended-hammer
 (``bench_defended_hammer.py``) -- are detected by schema and gated on
 engine equivalence plus per-cell speedup *ratios* instead, which do
-transfer across runner classes.  Refresh a baseline by copying a
+transfer across runner classes.  Serving artifacts
+(``bench_serving.py``) are gated on exact SLA-stat equivalence,
+channel-scaling throughput ratios (``--speedup-tolerance``), and the
+protected victim staying intact under the co-located attack.  Refresh a baseline by copying a
 trusted run's artifact over the ``*_baseline.json`` file under
 ``benchmarks/artifacts/`` -- regenerate harness baselines on the same
 runner class the workflow uses, since wall-clock baselines do not
@@ -24,9 +27,11 @@ import argparse
 from repro.eval.regression import (
     ATTACK_SEARCH_SCHEMA,
     DEFENDED_HAMMER_SCHEMA,
+    SERVING_SCHEMA,
     compare_artifacts,
     compare_attack_search,
     compare_defended_hammer,
+    compare_serving,
     load_artifact,
 )
 
@@ -49,6 +54,10 @@ def main(argv: list[str] | None = None) -> int:
     elif current.get("schema") == DEFENDED_HAMMER_SCHEMA:
         report = compare_defended_hammer(
             current, baseline, speedup_tolerance=args.speedup_tolerance
+        )
+    elif current.get("schema") == SERVING_SCHEMA:
+        report = compare_serving(
+            current, baseline, throughput_tolerance=args.speedup_tolerance
         )
     else:
         report = compare_artifacts(

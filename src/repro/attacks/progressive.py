@@ -17,6 +17,13 @@ models that patience:
   window rather than hammering a locked row again;
 * a target is abandoned only after ``retry_limit`` failed rounds.
 
+The tenant traffic itself is not the attacker's to shape: it is the
+co-located victim workload, modelled by the serving subsystem's
+:class:`~repro.serving.GuardRowTenant` (one privileged guard-row access
+per campaign) -- the same stream the cross-layer pipeline and the
+serving matrix's victim owner issue.  ``tenant_hook`` accepts any
+callable with that ``(tensor, index, bit)`` signature.
+
 Against an unprotected system this degenerates to plain BFA; against
 DRAM-Locker with a non-zero SWAP failure rate it converts the paper's
 9.6 % exposure probability into eventual flips, which is exactly the
@@ -88,6 +95,10 @@ class MultiRoundBFA:
         driver: HammerDriver | None = None,
         tenant_hook=None,
     ):
+        """``tenant_hook``: the co-located tenant stream invoked before
+        each retry -- typically a
+        :class:`~repro.serving.GuardRowTenant` bound to the victim's
+        store and controller."""
         if (store is None) != (driver is None):
             raise ValueError("provide both store and driver, or neither")
         self.config = config or MultiRoundConfig()

@@ -67,7 +67,7 @@ from .request import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..locker.locker import DRAMLocker
 
-__all__ = ["MemoryController", "LOCK_LOOKUP_NS"]
+__all__ = ["MemoryController", "SummarySink", "make_summary_sink", "LOCK_LOOKUP_NS"]
 
 
 class _ListSink:
@@ -108,7 +108,7 @@ class _ListSink:
         self.results.extend(chunk)
 
 
-class _SummarySink:
+class SummarySink:
     """Reduces the stream to one :class:`RunSummary` -- no per-request
     allocation; float totals keep the scalar in-order fold."""
 
@@ -148,6 +148,13 @@ class _SummarySink:
             (latency_ns, defense_ns),
             count,
         )
+
+
+def make_summary_sink() -> "SummarySink":
+    """A fresh summary-mode result sink for :meth:`MemoryController.
+    execute_stream` callers (the sharded serving system feeds several
+    controllers into one); read the reduced outcome from ``.summary``."""
+    return SummarySink()
 
 
 class MemoryController:
@@ -330,7 +337,7 @@ class MemoryController:
         The results log, when enabled, only sees the scalar boundary
         steps in this mode; use :meth:`execute_batch` for full traces.
         """
-        sink = _SummarySink()
+        sink = SummarySink()
         self._drain(requests, sink)
         return sink.summary
 
@@ -339,6 +346,20 @@ class MemoryController:
         request: the zero-allocation accounting path of the hammer hot
         loop (O(1) memory in, O(chunks) work out)."""
         return self.execute_summary(RequestRun(request, count))
+
+    def execute_stream(self, requests: Sequence[MemRequest], sink) -> None:
+        """Execute a request stream into a caller-supplied result sink.
+
+        The sink protocol is the one the built-in list/summary sinks
+        implement: ``add(result)`` for each scalar step and
+        ``add_run(requests, start, count, status, latency_ns,
+        defense_ns, physical)`` for each bulk chunk (``count`` requests
+        sharing one per-step latency).  This is how the serving
+        subsystem's SLA accountant observes per-request latencies --
+        bulk chunks arrive as ``(latency, count)`` pairs -- without the
+        engine ever materializing per-request results.
+        """
+        self._drain(requests, sink)
 
     def _drain(self, requests: Sequence[MemRequest], sink) -> None:
         """Feed a request stream through ``sink`` via the configured

@@ -1,6 +1,6 @@
 """DRAM device model: geometry, timing, energy, RowHammer, refresh."""
 
-from .address import AddressMapper, ByteAddress, RowAddress
+from .address import AddressMapper, ByteAddress, ChannelInterleaver, RowAddress
 from .config import DRAMConfig
 from .device import DRAMDevice
 from .energy import DDR4_ENERGY, EnergyParams
@@ -22,6 +22,7 @@ __all__ = [
     "Bank",
     "BitFlip",
     "ByteAddress",
+    "ChannelInterleaver",
     "DDR3_1600",
     "DDR4_2400",
     "DDR4_ENERGY",

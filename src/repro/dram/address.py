@@ -12,6 +12,14 @@ addresses and ``(row, column)`` pairs.  The mapping is row-interleaved
 (bank index in the low bits of the row number) like a real controller,
 so consecutive rows of one subarray are *physically adjacent* -- which
 is exactly the adjacency the RowHammer model disturbs.
+
+Above the per-channel mapper sits :class:`ChannelInterleaver`, the
+policy layer of the multi-channel serving system: it spreads a flat
+*system row* space ``[0, config.system_rows)`` over
+``config.channels`` independent channels, each of which then resolves
+its local row through its own :class:`AddressMapper`.  Adjacency (and
+therefore RowHammer disturbance and DRAM-Locker's aggressors) is a
+strictly per-channel notion; the interleaver only decides placement.
 """
 
 from __future__ import annotations
@@ -21,7 +29,7 @@ from typing import Iterable, NamedTuple
 
 from .config import DRAMConfig
 
-__all__ = ["RowAddress", "ByteAddress", "AddressMapper"]
+__all__ = ["RowAddress", "ByteAddress", "AddressMapper", "ChannelInterleaver"]
 
 
 class RowAddress(NamedTuple):
@@ -149,3 +157,63 @@ class AddressMapper:
             raise ValueError(f"subarray {addr.subarray} out of range")
         if not 0 <= addr.row < cfg.rows_per_subarray:
             raise ValueError(f"row {addr.row} out of range")
+
+
+class ChannelInterleaver:
+    """System-row placement across the channels of one memory system.
+
+    Policies:
+
+    * ``"row"`` (default) -- consecutive system rows round-robin across
+      channels (``channel = row % channels``), so any contiguous
+      workload -- a tenant partition, a weight-streaming sweep --
+      spreads evenly and aggregate throughput scales with the channel
+      count;
+    * ``"block"`` -- contiguous blocks (``channel = row //
+      rows_per_channel``), the isolation placement: one tenant's
+      contiguous partition lives entirely on one channel.
+
+    With ``channels == 1`` both policies are the identity, which is the
+    equivalence :class:`~repro.serving.ShardedMemorySystem` leans on:
+    a single-channel sharded system is observationally identical to a
+    bare :class:`~repro.controller.MemoryController`.
+    """
+
+    POLICIES = ("row", "block")
+
+    def __init__(self, config: DRAMConfig, policy: str = "row"):
+        if policy not in self.POLICIES:
+            raise ValueError(
+                f"unknown interleaving policy {policy!r}; "
+                f"choose from {self.POLICIES}"
+            )
+        self.config = config
+        self.policy = policy
+        self.channels = config.channels
+        self.rows_per_channel = config.total_rows
+        self.system_rows = config.system_rows
+
+    def locate(self, system_row: int) -> tuple[int, int]:
+        """Resolve a system row to ``(channel, per-channel row)``."""
+        if not 0 <= system_row < self.system_rows:
+            raise ValueError(f"system row {system_row} out of range")
+        if self.policy == "row":
+            return (
+                system_row % self.channels,
+                system_row // self.channels,
+            )
+        return divmod(system_row, self.rows_per_channel)
+
+    def channel_of(self, system_row: int) -> int:
+        """The channel serving one system row."""
+        return self.locate(system_row)[0]
+
+    def system_row(self, channel: int, local_row: int) -> int:
+        """Inverse of :meth:`locate`."""
+        if not 0 <= channel < self.channels:
+            raise ValueError(f"channel {channel} out of range")
+        if not 0 <= local_row < self.rows_per_channel:
+            raise ValueError(f"local row {local_row} out of range")
+        if self.policy == "row":
+            return local_row * self.channels + channel
+        return channel * self.rows_per_channel + local_row

@@ -7,7 +7,7 @@ overhead calculators all share.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 __all__ = ["DRAMConfig"]
 
@@ -20,14 +20,23 @@ GIB = 1024 * 1024 * 1024
 class DRAMConfig:
     """Geometry of one simulated DRAM memory system.
 
-    The hierarchy is ``device -> bank -> subarray -> row``.  Channels and
-    ranks are folded into the bank count: the paper's evaluation uses a
-    single-channel 16-bank DDR4 view, and nothing in the mechanism
-    depends on rank-level parallelism.
+    The hierarchy is ``channel -> device -> bank -> subarray -> row``.
+    Ranks are folded into the bank count: the paper's evaluation uses a
+    16-bank DDR4 view, and nothing in the mechanism depends on
+    rank-level parallelism.  ``channels`` defaults to 1 (the paper's
+    single-channel view); every per-device quantity below
+    (``total_rows``, ``capacity_bytes``, ...) stays **per channel**, so
+    single-channel configs and their committed baselines are unchanged.
+    Multi-channel systems are composed by
+    :class:`repro.serving.ShardedMemorySystem`, which builds one device
+    per channel from :meth:`channel_config` and interleaves system rows
+    via :class:`repro.dram.address.ChannelInterleaver`.
 
     Attributes:
         name: Identifier for reports.
-        banks: Number of banks.
+        channels: Independent memory channels, each with its own device,
+            controller, clock, and (optionally) DRAM-Locker lock table.
+        banks: Number of banks per channel.
         subarrays_per_bank: Subarrays per bank; RowClone FPM copies are
             only possible *within* one subarray.
         rows_per_subarray: DRAM rows per subarray (typically 512).
@@ -44,8 +53,11 @@ class DRAMConfig:
     rows_per_subarray: int = 512
     row_bytes: int = 8 * KIB
     reserved_rows_per_subarray: int = 8
+    channels: int = 1
 
     def __post_init__(self) -> None:
+        if self.channels <= 0:
+            raise ValueError("channels must be positive")
         if self.banks <= 0 or self.subarrays_per_bank <= 0:
             raise ValueError("banks and subarrays_per_bank must be positive")
         if self.rows_per_subarray <= 0 or self.row_bytes <= 0:
@@ -82,17 +94,49 @@ class DRAMConfig:
         """Bits stored in one row."""
         return self.row_bytes * 8
 
+    # ------------------------------------------------------------------
+    # Multi-channel (system-level) geometry
+    # ------------------------------------------------------------------
+    @property
+    def system_rows(self) -> int:
+        """Rows across all channels (the serving address space)."""
+        return self.channels * self.total_rows
+
+    @property
+    def system_capacity_bytes(self) -> int:
+        """Capacity across all channels."""
+        return self.channels * self.capacity_bytes
+
+    def channel_config(self) -> "DRAMConfig":
+        """The geometry of one channel of this system (``channels=1``).
+
+        This is what :class:`~repro.serving.ShardedMemorySystem` hands
+        each per-channel :class:`~repro.dram.device.DRAMDevice`; for a
+        single-channel config it is the config itself, so nothing about
+        the paper's experiments changes.
+        """
+        if self.channels == 1:
+            return self
+        return replace(self, channels=1)
+
+    def with_channels(self, channels: int) -> "DRAMConfig":
+        """This geometry widened (or narrowed) to ``channels`` channels."""
+        if channels == self.channels:
+            return self
+        return replace(self, channels=channels)
+
     def describe(self) -> str:
         """One-line human-readable geometry summary."""
-        cap = self.capacity_bytes
+        cap = self.system_capacity_bytes
         if cap >= GIB:
             cap_text = f"{cap / GIB:g}GB"
         elif cap >= MIB:
             cap_text = f"{cap / MIB:g}MB"
         else:
             cap_text = f"{cap / KIB:g}KB"
+        prefix = f"{self.channels} channels x " if self.channels > 1 else ""
         return (
-            f"{self.name}: {cap_text}, {self.banks} banks x "
+            f"{self.name}: {cap_text}, {prefix}{self.banks} banks x "
             f"{self.subarrays_per_bank} subarrays x "
             f"{self.rows_per_subarray} rows x {self.row_bytes}B"
         )

@@ -34,6 +34,7 @@ from ..nn.models import resnet20, vgg11
 from ..nn.quant import QuantizedModel
 from ..nn.storage import WeightStore
 from ..nn.train import TrainConfig
+from ..serving.workload import GuardRowTenant
 from .security import LockerSecurityModel, ShadowSecurityModel
 
 __all__ = [
@@ -192,23 +193,18 @@ def build_system(
     return ProtectedSystem(device, controller, store, driver, locker)
 
 
-def _background_tenant_hook(system: ProtectedSystem, seed: int = 1):
+def _background_tenant_hook(system: ProtectedSystem, seed: int = 1) -> GuardRowTenant:
     """Multi-tenant traffic: one privileged access to a guard row
     adjacent to the attacker's target, right before each campaign.
 
     This is DRAM-Locker's only failure surface: the access forces an
     unlock-SWAP whose (process-variation) failure opens the exposure
-    window the attacker needs.
+    window the attacker needs.  The stream itself is the serving
+    subsystem's shared :class:`~repro.serving.GuardRowTenant`
+    (draw-for-draw identical to the closure this used to build); this
+    wrapper just binds it to a :class:`ProtectedSystem`.
     """
-    rng = np.random.default_rng(seed)
-
-    def hook(name: str, index: int, bit: int) -> None:
-        row, _ = system.store.bit_location(name, index, bit)
-        guards = system.device.mapper.neighbors(row, radius=1)
-        guard = int(rng.choice(guards))
-        system.controller.read(guard, privileged=True)
-
-    return hook
+    return GuardRowTenant(system.store, system.controller, seed=seed)
 
 
 # ----------------------------------------------------------------------

@@ -21,9 +21,9 @@ from dataclasses import dataclass, field
 from ..arch.cacti import lock_table_estimate
 from ..attacks.bfa import BFAConfig, ProgressiveBitSearch
 from ..circuits.montecarlo import MonteCarlo
+from ..serving.workload import VictimTenant
 from .experiments import (
     Scale,
-    _background_tenant_hook,
     build_system,
     build_victim,
 )
@@ -80,9 +80,12 @@ class CrossLayerPipeline:
         dataset, qmodel = build_victim(self.arch, self.scale)
         clean = qmodel.model.accuracy(dataset.test_x, dataset.test_y)
         system = build_system(qmodel, protected=self.protected)
-        # One inference worth of weight streaming, through the batch engine.
-        system.store.stream_inference(system.controller, summary=True)
-        hook = _background_tenant_hook(system) if self.protected else None
+        # The victim's own request mix -- weight-streaming inference
+        # plus the guard-row traffic that opens unlock windows -- is
+        # the serving subsystem's shared VictimTenant workload.
+        tenant = VictimTenant(system.store, system.controller)
+        tenant.stream_inference()
+        hook = tenant if self.protected else None
         attack = ProgressiveBitSearch(
             qmodel,
             dataset,

@@ -34,7 +34,6 @@ import os
 import re
 import time
 import traceback
-import zlib
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Callable, Iterable, Sequence
 
@@ -60,6 +59,7 @@ from ..dram.config import DRAMConfig
 from ..dram.device import DRAMDevice
 from ..dram.vulnerability import VulnerabilityMap
 from ..locker.locker import DRAMLocker, LockerConfig
+from ..seeds import derive_seed
 from .experiments import (
     Scale,
     run_attack_scenario,
@@ -93,6 +93,7 @@ __all__ = [
     "cheap_scenarios",
     "smoke_scenarios",
     "quick_scenarios",
+    "serving_scenarios",
     "SCENARIO_RUNNERS",
     "DEFENSE_BUILDERS",
     "DEFENDED_HAMMER_DEFENSES",
@@ -132,10 +133,9 @@ class Scenario:
         return dict(self.params)
 
 
-def derive_seed(name: str, base_seed: int = 0) -> int:
-    """Stable per-scenario seed: independent of list order and of every
-    other scenario, so matrices stay reproducible as they grow."""
-    return (zlib.crc32(name.encode("utf-8")) ^ (base_seed * 0x9E3779B1)) & 0x7FFFFFFF
+# Stable per-scenario seed: independent of list order and of every
+# other scenario, so matrices stay reproducible as they grow.  One
+# definition for the whole stack lives in repro.seeds.
 
 
 @dataclass
@@ -468,6 +468,70 @@ def _run_attack(scale: Scale, seed: int, **params) -> dict:
     return run_attack_scenario(scale=_seeded(scale, seed), **params)
 
 
+#: Defense cells of the serving matrix.  ``"DRAM-Locker"`` installs one
+#: locker per channel; baseline names install one defense instance per
+#: channel from :data:`DEFENDED_HAMMER_DEFENSES`; ``"None"`` is the
+#: undefended system.
+def _run_serving(
+    scale: Scale,
+    seed: int,
+    tenants: int = 4,
+    channels: int = 1,
+    defense: str = "DRAM-Locker",
+    colocated: bool = True,
+    arrival: str = "poisson",
+    slices: int = 24,
+    ops_per_slice: float = 6.0,
+    policy: str = "row",
+    victim: str = "bits",
+    arch: str = "resnet20",
+    engine: str = "bulk",
+) -> dict:
+    """One serving cell: multi-tenant traffic on a sharded system.
+
+    The payload is a pure function of the parameters and ``seed`` (all
+    arrival/popularity/swap-failure RNG streams are name-derived), so
+    serving cells keep the matrix's worker-count invariance.  With
+    ``victim="model"`` a trained quick-scale victim (shared through the
+    victim cache) resides on channel 0 and its accuracy is measured
+    before/after the co-located campaign.
+    """
+    from ..serving import ServingConfig, run_serving
+
+    protected = defense == "DRAM-Locker"
+    builder = None
+    if not protected and defense != "None":
+        builder = DEFENDED_HAMMER_DEFENSES.get(defense)
+        if builder is None:
+            raise ValueError(f"unknown serving defense {defense!r}")
+    model_victim = None
+    if victim == "model":
+        from .experiments import build_victim
+
+        model_victim = build_victim(arch, _seeded(scale, 0))
+    elif victim != "bits":
+        raise ValueError(f"unknown victim shape {victim!r}")
+    config = ServingConfig(
+        tenants=tenants,
+        channels=channels,
+        slices=slices,
+        ops_per_slice=ops_per_slice,
+        arrival=arrival,
+        colocated=colocated,
+        policy=policy,
+        engine=engine,
+        seed=seed,
+    )
+    payload = run_serving(
+        config,
+        protected=protected,
+        defense_builder=builder,
+        model_victim=model_victim,
+    )
+    payload["defense"] = defense
+    return payload
+
+
 SCENARIO_RUNNERS: dict[str, Callable[..., dict]] = {
     "attack": _run_attack,
     "fig1a": _run_fig1a,
@@ -486,6 +550,7 @@ SCENARIO_RUNNERS: dict[str, Callable[..., dict]] = {
     "ablation_relock": _run_relock_ablation,
     "defense_campaign": _run_defense_campaign,
     "defended_hammer": _run_defended_hammer,
+    "serving": _run_serving,
 }
 
 
@@ -900,11 +965,55 @@ def attack_scenarios(
     return scenarios
 
 
+def serving_scenarios(scale: Scale | None = None) -> list[Scenario]:
+    """The serving matrix: tenants x defense x colocation x channels.
+
+    Every cell is training-free (bit victims) and seconds-scale; the
+    channel sweep under each defense is what ``bench_serving.py``
+    times, and the colocation/tenant sweeps probe the SLA story
+    (blocked share, exposure windows, tail latency under attack).
+    """
+    scale = scale or Scale.quick()
+
+    def cell(name: str, **params) -> Scenario:
+        return Scenario(
+            name, "serving", scale,
+            params=tuple(sorted(params.items())),
+        )
+
+    scenarios = [
+        # Channel scaling under the two headline defenses, attacker on.
+        cell(f"serving-{defense.lower().replace('/', '-')}-ch{channels}",
+             defense=defense, channels=channels)
+        for defense in ("None", "DRAM-Locker")
+        for channels in (1, 2, 4)
+    ]
+    scenarios += [
+        # Baseline-defense contenders at two channels.
+        cell("serving-trr-ch2", defense="TRR", channels=2),
+        cell("serving-graphene-ch2", defense="Graphene", channels=2),
+        # Attacker-colocation off: the pure multi-tenant SLA baseline.
+        cell("serving-locker-solo-ch1", defense="DRAM-Locker",
+             channels=1, colocated=False),
+        cell("serving-locker-solo-ch4", defense="DRAM-Locker",
+             channels=4, colocated=False),
+        # Tenant-count sweep (Zipf contention) and a bursty arrival cell.
+        cell("serving-locker-tenants2-ch2", defense="DRAM-Locker",
+             channels=2, tenants=2),
+        cell("serving-locker-tenants8-ch2", defense="DRAM-Locker",
+             channels=2, tenants=8),
+        cell("serving-locker-bursty-ch2", defense="DRAM-Locker",
+             channels=2, arrival="bursty"),
+    ]
+    return scenarios
+
+
 _SCENARIO_SETS = {
     "cheap": cheap_scenarios,
     "smoke": smoke_scenarios,
     "quick": quick_scenarios,
     "attacks": attack_scenarios,
+    "serving": serving_scenarios,
 }
 
 

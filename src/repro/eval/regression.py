@@ -23,11 +23,13 @@ from dataclasses import dataclass, field
 __all__ = [
     "ATTACK_SEARCH_SCHEMA",
     "DEFENDED_HAMMER_SCHEMA",
+    "SERVING_SCHEMA",
     "RegressionReport",
     "protected_accuracies",
     "compare_artifacts",
     "compare_attack_search",
     "compare_defended_hammer",
+    "compare_serving",
     "load_artifact",
 ]
 
@@ -40,6 +42,10 @@ ATTACK_SEARCH_SCHEMA = "dram-locker-attack-search-bench/1"
 #: Schema tag of the defended-hammer microbenchmark artifact
 #: (``benchmarks/bench_defended_hammer.py``).
 DEFENDED_HAMMER_SCHEMA = "dram-locker-defended-hammer-bench/1"
+
+#: Schema tag of the serving benchmark artifact
+#: (``benchmarks/bench_serving.py``).
+SERVING_SCHEMA = "dram-locker-serving-bench/1"
 
 
 def load_artifact(path: str) -> dict:
@@ -176,6 +182,93 @@ def compare_attack_search(
         report.violations.append(
             "persistent worker pool changed matrix results"
         )
+    return report
+
+
+def compare_serving(
+    current: dict,
+    baseline: dict,
+    throughput_tolerance: float = 0.25,
+) -> RegressionReport:
+    """Regression gate for the serving benchmark artifact.
+
+    Three properties:
+
+    * **SLA-stat equivalence** (no tolerance): every cell's
+      deterministic SLA fingerprint -- request/issued/blocked tallies
+      and latency percentiles, all *simulated* quantities that transfer
+      across runner classes -- must equal the committed baseline
+      exactly; a drift means the serving path's behaviour changed.
+    * **Channel scaling**: each defense's 1-to-max-channel aggregate
+      requests/sec ratio must not shrink more than
+      ``throughput_tolerance`` versus the baseline (ratios of simulated
+      throughput, so they transfer too).
+    * **Protection intact** (no tolerance): the locker cells report
+      zero victim flip events, and the model-victim probe's accuracy is
+      unchanged under the co-located attack.
+    """
+    report = RegressionReport()
+    current_cells = current.get("cells", {})
+    for name, base_cell in sorted(baseline.get("cells", {}).items()):
+        cell = current_cells.get(name)
+        if cell is None:
+            report.violations.append(f"cell {name!r} missing from current artifact")
+            continue
+        base_sla = base_cell.get("sla_fingerprint")
+        if base_sla is not None:
+            check = f"{name}: SLA fingerprint matches baseline"
+            if cell.get("sla_fingerprint") != base_sla:
+                report.violations.append(
+                    f"{name}: SLA fingerprint diverged from baseline "
+                    f"({cell.get('sla_fingerprint')} != {base_sla})"
+                )
+            else:
+                report.checks.append(check)
+    for defense, base_scale in sorted(baseline.get("scaling", {}).items()):
+        scale = current.get("scaling", {}).get(defense)
+        if scale is None:
+            report.violations.append(
+                f"scaling entry {defense!r} missing from current artifact"
+            )
+            continue
+        floor = base_scale["ratio"] * (1.0 - throughput_tolerance)
+        check = (
+            f"{defense}: channel-scaling ratio {scale['ratio']:.2f}x vs "
+            f"baseline {base_scale['ratio']:.2f}x (floor {floor:.2f}x)"
+        )
+        if scale["ratio"] < floor:
+            report.violations.append(check)
+        else:
+            report.checks.append(check)
+    for name, cell in sorted(current_cells.items()):
+        if not cell.get("protected"):
+            continue
+        flips = cell.get("victim_flip_events", 0)
+        check = f"{name}: protected victim intact ({flips} flip events)"
+        if flips:
+            report.violations.append(check)
+        else:
+            report.checks.append(check)
+    victim = current.get("victim")
+    if victim is None:
+        # The probe may only be absent when the baseline never had it;
+        # a silent drop of a gated section is itself a regression.
+        if baseline.get("victim") is not None:
+            report.violations.append(
+                "model-victim probe missing from current artifact"
+            )
+    elif victim.get("skipped"):
+        # Recorded with --skip-model-victim: explicit, so not a drop.
+        report.checks.append("model-victim probe explicitly skipped")
+    else:
+        check = (
+            f"model victim accuracy {victim.get('post_attack_accuracy'):.2f}% "
+            f"vs clean {victim.get('clean_accuracy'):.2f}% under attack"
+        )
+        if not victim.get("accuracy_unchanged"):
+            report.violations.append(check)
+        else:
+            report.checks.append(check)
     return report
 
 

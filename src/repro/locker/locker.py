@@ -120,6 +120,10 @@ class DRAMLocker:
         self.failed_unlock_swaps = 0
         self.restores = 0
         self.failed_restores = 0
+        #: Availability-first fallbacks that suspended enforcement on a
+        #: row -- each is one exposure window the serving SLA report
+        #: charges against the defense.
+        self.exposure_windows = 0
 
     # ------------------------------------------------------------------
     # Protection setup
@@ -245,6 +249,7 @@ class DRAMLocker:
             return AccessDecision(False, extra_ns=extra_ns, reason=reason)
         # Availability-first: serve directly and suspend enforcement on
         # this row until the re-secure deadline -- the exposure window.
+        self.exposure_windows += 1
         self.exposed.add(physical)
         self._schedule(_PendingKind.RESECURE, physical_row=physical)
         return AccessDecision(
@@ -344,6 +349,24 @@ class DRAMLocker:
                 physical_row=physical_row,
             ),
         )
+
+    # ------------------------------------------------------------------
+    # SLA / serving accounting
+    # ------------------------------------------------------------------
+    def exposure_summary(self) -> dict[str, int]:
+        """The locker-side stats the serving SLA report folds in: how
+        often the defense blocked, swapped, and -- the failure surface
+        -- left a row temporarily exposed."""
+        return {
+            "blocked_requests": self.blocked_requests,
+            "unlock_swaps": self.unlock_swaps,
+            "failed_unlock_swaps": self.failed_unlock_swaps,
+            "restores": self.restores,
+            "failed_restores": self.failed_restores,
+            "exposure_windows": self.exposure_windows,
+            "exposed_now": len(self.exposed),
+            "locked_rows": len(self.table),
+        }
 
     # ------------------------------------------------------------------
     # Table I row

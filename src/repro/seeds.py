@@ -1,0 +1,20 @@
+"""Deterministic seed derivation shared across the stack.
+
+One definition, imported by the scenario harness (per-scenario seeds)
+and the serving workload engine (per-tenant / per-channel RNG streams)
+-- both reproducibility anchors, so the mixing function must never
+fork.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["derive_seed"]
+
+
+def derive_seed(name: str, base_seed: int = 0) -> int:
+    """Stable per-name seed: a pure function of ``(name, base_seed)``,
+    independent of every other name -- so scenario matrices and tenant
+    fleets stay reproducible as they grow or reorder."""
+    return (zlib.crc32(name.encode("utf-8")) ^ (base_seed * 0x9E3779B1)) & 0x7FFFFFFF

@@ -1,0 +1,50 @@
+"""Multi-tenant serving: workload engine, sharded channels, SLA books.
+
+The first subsystem that exercises DRAM-Locker as shared-infrastructure
+defense rather than a single-victim experiment: deterministic
+multi-tenant workload generators (``workload``), an N-channel sharded
+memory system with per-channel lock tables (``sharded``), streaming SLA
+accounting (``sla``), and the serving simulation that composes them
+(``engine``).
+"""
+
+from .engine import ServingConfig, ServingSimulation, run_serving
+from .sharded import ChannelState, ShardedMemorySystem
+from .sla import (
+    DEFAULT_PERCENTILES,
+    SLAAccountant,
+    StreamingPercentiles,
+    TenantSink,
+)
+from .workload import (
+    GuardRowTenant,
+    GuardRowTraffic,
+    TenantSpec,
+    VictimTenant,
+    WorkloadConfig,
+    WorkloadGenerator,
+    WorkloadOp,
+    make_tenants,
+    zipf_weights,
+)
+
+__all__ = [
+    "ChannelState",
+    "DEFAULT_PERCENTILES",
+    "GuardRowTenant",
+    "GuardRowTraffic",
+    "SLAAccountant",
+    "ServingConfig",
+    "ServingSimulation",
+    "ShardedMemorySystem",
+    "StreamingPercentiles",
+    "TenantSink",
+    "TenantSpec",
+    "VictimTenant",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "WorkloadOp",
+    "make_tenants",
+    "run_serving",
+    "zipf_weights",
+]

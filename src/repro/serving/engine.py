@@ -1,0 +1,389 @@
+"""The serving engine: multi-tenant traffic on a sharded memory system.
+
+One :class:`ServingSimulation` is one cell of the serving matrix:
+``tenants`` Zipf-popular tenants generate open/closed-loop traffic over
+their partitions of the system row space, an optional co-located
+attacker runs hammer campaigns against per-channel protected victims,
+and the tenant-aware arbiter multiplexes every stream onto the
+channels through the bulk/summary engine -- per-request latencies
+reach the SLA accountant through the controller sink protocol, so
+nothing allocates per request.
+
+The run is a pure function of :class:`ServingConfig` (every RNG stream
+is name-derived from the seed), so the harness's worker-count
+invariance holds for serving cells exactly as for the rest of the
+matrix.
+
+Victims come in two shapes:
+
+* **bit victims** (default) -- one templated victim bit per channel,
+  protected by that channel's locker: the cheap, training-free
+  protected-surface probe the canned serving set uses;
+* a **model victim** -- a quantized DNN resident on channel 0 via
+  :class:`~repro.nn.storage.WeightStore`, its data rows locked, its
+  accuracy measured before/after the co-located campaign (the
+  acceptance probe ``benchmarks/bench_serving.py`` records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from ..controller.request import Kind, MemRequest, RequestRun
+from ..dram.config import DRAMConfig
+from ..locker.locker import LockerConfig
+from ..locker.planner import LockMode
+from .sharded import ShardedMemorySystem
+from .sla import SLAAccountant
+from .workload import (
+    GuardRowTraffic,
+    WorkloadConfig,
+    WorkloadGenerator,
+    derive_seed,
+    make_tenants,
+)
+
+__all__ = ["ServingConfig", "ServingSimulation", "run_serving"]
+
+#: Channel-local victim row (subarray 0) for the bit-victim shape.
+VICTIM_LOCAL_ROW = 20
+#: The templated victim bit (matches the defended-hammer campaigns).
+VICTIM_BIT = 5
+#: Tenant partitions start at this channel-local row: clear of the
+#: victim zone (subarray 0) -- and of a quick-scale model victim's
+#: weight rows when one is attached (they spill at most into
+#: subarray 1).
+TENANT_FIRST_LOCAL = 256
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """One serving cell: tenants x defense x colocation x channels."""
+
+    tenants: int = 4
+    channels: int = 1
+    slices: int = 24
+    ops_per_slice: float = 6.0
+    arrival: str = "poisson"
+    closed_loop: bool = False
+    zipf_popularity: float = 1.1
+    zipf_rows: float = 0.8
+    read_fraction: float = 0.6
+    write_fraction: float = 0.3
+    inference_rows: int = 8
+    #: Interleaving policy of the sharded system.
+    policy: str = "row"
+    #: Co-located attacker on/off, and its per-slice budget: one
+    #: ``hammer_burst``-activation run per aggressor per victim.
+    colocated: bool = True
+    hammer_burst: int = 400
+    #: Privileged guard-row accesses per channel per slice -- the
+    #: victim owner's own traffic, which opens unlock-SWAP windows.
+    victim_traffic_per_slice: int = 2
+    trh: int = 1000
+    #: Whole-SWAP failure probability (paper: 9.6% at +/-20%); the
+    #: per-RowClone rate is derived so three copies compose to it.
+    swap_failure_rate: float = 0.096
+    relock_interval: int = 200
+    engine: str = "bulk"
+    seed: int = 0
+
+
+class ServingSimulation:
+    """One serving run over a sharded, optionally defended system."""
+
+    def __init__(
+        self,
+        config: ServingConfig,
+        *,
+        protected: bool = True,
+        defense_builder=None,
+        model_victim=None,
+    ):
+        """``protected`` installs per-channel DRAM-Lockers;
+        ``defense_builder`` instead (or additionally) installs one
+        baseline-defense instance per channel.  ``model_victim`` is an
+        optional ``(dataset, qmodel)`` pair placed on channel 0."""
+        self.config = config
+        self.protected = protected
+        dram = DRAMConfig.small().with_channels(config.channels)
+        per_copy = 1.0 - (1.0 - config.swap_failure_rate) ** (1.0 / 3.0)
+        self.system = ShardedMemorySystem(
+            dram,
+            policy=config.policy,
+            trh=config.trh,
+            protected=protected,
+            locker_config=LockerConfig(
+                copy_error_rate=per_copy,
+                relock_interval=config.relock_interval,
+                seed=config.seed,
+            ),
+            defense_builder=defense_builder,
+            seed=config.seed,
+            engine=config.engine,
+        )
+        self.store = None
+        self.dataset = None
+        self.qmodel = None
+        self.clean_accuracy = None
+        if model_victim is not None:
+            self._attach_model_victim(*model_victim)
+        else:
+            self._place_bit_victims()
+        tenants = make_tenants(
+            config.tenants,
+            partitions=self._tenant_partitions(),
+            zipf_popularity=config.zipf_popularity,
+            read_fraction=config.read_fraction,
+            write_fraction=config.write_fraction,
+        )
+        self.generator = WorkloadGenerator(
+            tenants,
+            WorkloadConfig(
+                slices=config.slices,
+                ops_per_slice=config.ops_per_slice,
+                arrival=config.arrival,
+                closed_loop=config.closed_loop,
+                zipf_rows=config.zipf_rows,
+                inference_rows=config.inference_rows,
+                seed=config.seed,
+            ),
+        )
+        self.sla = SLAAccountant()
+        # The victim owner's unlock-window stream: the same
+        # guard-selection policy the attack experiments use, in system
+        # row space, booked against the "victim-owner" tenant.
+        owner_sink = self.sla.sink("victim-owner")
+        self._victim_traffic = GuardRowTraffic(
+            self.system.neighbors,
+            lambda row: self.system.execute_stream(
+                [MemRequest(Kind.READ, row, privileged=True)], owner_sink
+            ),
+            seed=derive_seed("victim-traffic", config.seed),
+        )
+        # Count every disturbance flip that lands in a victim row --
+        # the protection-surface metric (a long campaign can toggle a
+        # bit back to its initial value, so end-state diffs undercount).
+        self.victim_flip_events = 0
+        for state in self.system.channels:
+            victim_locals = {
+                self.system.locate(row)[1]
+                for row in self.victim_rows
+                if self.system.locate(row)[0] is state
+            }
+            if victim_locals:
+                state.device.add_flip_listener(
+                    lambda flip, rows=victim_locals: self._on_victim_flip(
+                        flip, rows
+                    )
+                )
+
+    def _on_victim_flip(self, flip, victim_locals) -> None:
+        if flip.row in victim_locals:
+            self.victim_flip_events += 1
+
+    def _tenant_partitions(self) -> list[tuple[int, int]]:
+        """Per-tenant system-row ranges that stay clear of every
+        channel's victim zone (locals below ``TENANT_FIRST_LOCAL``)
+        under the configured interleaving policy.
+
+        Under ``"row"`` the zone-free locals form one contiguous system
+        range, split equally.  Under ``"block"`` each channel's tenant
+        zone is a separate contiguous block, so tenants are assigned
+        round-robin to channels and split their channel's zone -- the
+        isolation placement: one tenant, one channel.
+        """
+        config = self.config
+        channels = config.channels
+        per_channel = self.system.interleaver.rows_per_channel
+        count = config.tenants
+        if config.policy == "row":
+            first = TENANT_FIRST_LOCAL * channels
+            per_tenant = (self.system.system_rows - first) // count
+            if per_tenant <= 0:
+                raise ValueError("not enough rows for the tenant count")
+            return [
+                (first + index * per_tenant, per_tenant)
+                for index in range(count)
+            ]
+        zone_rows = per_channel - TENANT_FIRST_LOCAL
+        partitions = []
+        for index in range(count):
+            channel = index % channels
+            in_channel = count // channels + (
+                1 if channel < count % channels else 0
+            )
+            share = zone_rows // in_channel
+            if share <= 0:
+                raise ValueError("not enough rows for the tenant count")
+            partitions.append(
+                (
+                    channel * per_channel
+                    + TENANT_FIRST_LOCAL
+                    + (index // channels) * share,
+                    share,
+                )
+            )
+        return partitions
+
+    # ------------------------------------------------------------------
+    # Victim placement
+    # ------------------------------------------------------------------
+    def _place_bit_victims(self) -> None:
+        """One templated victim bit per channel, locker-protected."""
+        system = self.system
+        self.victim_rows = [
+            system.system_row(channel, VICTIM_LOCAL_ROW)
+            for channel in range(self.config.channels)
+        ]
+        for row in self.victim_rows:
+            system.register_template(row, [VICTIM_BIT])
+        self._initial_bits = [self._bit_value(row) for row in self.victim_rows]
+        if self.protected:
+            system.protect(self.victim_rows, mode=LockMode.ADJACENT)
+
+    def _attach_model_victim(self, dataset, qmodel) -> None:
+        """A DNN resident on channel 0, its data rows protected."""
+        from ..nn.storage import WeightStore
+
+        system = self.system
+        channel0 = system.channels[0]
+        self.dataset = dataset
+        self.qmodel = qmodel
+        self.store = WeightStore(channel0.device, qmodel, guard_rows=True)
+        self.clean_accuracy = qmodel.model.accuracy(
+            dataset.test_x, dataset.test_y
+        )
+        locals_used = self.store.data_rows
+        if max(locals_used) >= TENANT_FIRST_LOCAL:
+            raise RuntimeError(
+                "model victim spills into the tenant partition; use a "
+                "smaller model or a larger DRAMConfig"
+            )
+        self.victim_rows = [
+            system.system_row(0, local) for local in locals_used
+        ]
+        # Template the attacked bits so the campaign's flips are the
+        # deterministic TRH-crossing kind the defended benches use.
+        self._campaign_rows = self.victim_rows[:4]
+        for row in self._campaign_rows:
+            system.register_template(row, [VICTIM_BIT])
+        self._initial_bits = [
+            self._bit_value(row) for row in self._campaign_rows
+        ]
+        if self.protected:
+            system.protect(self.victim_rows, mode=LockMode.ADJACENT)
+
+    def _bit_value(self, system_row: int) -> int:
+        value = self.system.peek_bytes(system_row, 0, 1)[0]
+        return int(value >> VICTIM_BIT & 1)
+
+    @property
+    def campaign_rows(self) -> list[int]:
+        """The rows the co-located attacker actually hammers."""
+        if self.store is not None:
+            return self._campaign_rows
+        return self.victim_rows
+
+    # ------------------------------------------------------------------
+    # The serving loop
+    # ------------------------------------------------------------------
+    def run(self) -> dict:
+        config = self.config
+        system = self.system
+        sla = self.sla
+        for slice_index in range(config.slices):
+            # Tenant traffic, multiplexed onto channels via the bulk
+            # engine; each tenant's latencies stream into its books.
+            for op in self.generator.slice_ops(slice_index):
+                sla.observe_op(op.tenant, op.kind)
+                system.execute_stream(op.requests, sla.sink(op.tenant))
+            self._victim_owner_slice()
+            if config.colocated:
+                self._attacker_slice()
+        return self._payload()
+
+    def _victim_owner_slice(self) -> None:
+        """The victim owner's privileged guard-row traffic -- the
+        unlock-SWAP opener, shared with the attack experiments via
+        :class:`GuardRowTraffic`."""
+        for _ in range(self.config.victim_traffic_per_slice):
+            for row in self.campaign_rows:
+                self.sla.observe_op("victim-owner", "guard-read")
+                self._victim_traffic.touch(row)
+
+    def _attacker_slice(self) -> None:
+        """The co-located attacker: double-sided hammer runs against
+        every protected victim, O(1) memory per run."""
+        config = self.config
+        sink = self.sla.sink("attacker")
+        for row in self.campaign_rows:
+            for aggressor in self.system.neighbors(row, radius=1):
+                self.sla.observe_op("attacker", "hammer")
+                self.system.execute_stream(
+                    RequestRun(
+                        MemRequest(Kind.ACT, aggressor, privileged=False),
+                        config.hammer_burst,
+                    ),
+                    sink,
+                )
+
+    # ------------------------------------------------------------------
+    # Payload
+    # ------------------------------------------------------------------
+    def _payload(self) -> dict:
+        system = self.system
+        config = self.config
+        sim_seconds = system.makespan_ns * 1e-9
+        flipped = sum(
+            1
+            for row, initial in zip(self.campaign_rows, self._initial_bits)
+            if self._bit_value(row) != initial
+        )
+        victim: dict = {
+            "shape": "model" if self.store is not None else "bits",
+            "victims": len(self.victim_rows),
+            "campaign_rows": len(self.campaign_rows),
+            "protected": self.protected,
+            "victim_flip_events": self.victim_flip_events,
+            "protected_bits_flipped": flipped,
+        }
+        if self.store is not None:
+            self.store.sync_model()
+            post = self.qmodel.model.accuracy(
+                self.dataset.test_x, self.dataset.test_y
+            )
+            victim.update(
+                clean_accuracy=self.clean_accuracy,
+                post_attack_accuracy=post,
+                accuracy_unchanged=post == self.clean_accuracy,
+            )
+        return {
+            "config": asdict(config),
+            "sla": self.sla.report(
+                sim_seconds,
+                self.system.locker_summaries() if self.protected else None,
+            ),
+            "victim": victim,
+            "channels": system.channel_report(),
+            "memory_stats": system.aggregate_stats(),
+            "makespan_ns": system.makespan_ns,
+        }
+
+
+def run_serving(
+    config: ServingConfig,
+    *,
+    protected: bool = True,
+    defense_builder=None,
+    model_victim=None,
+) -> dict:
+    """Build and run one serving cell; returns the scenario payload."""
+    return ServingSimulation(
+        config,
+        protected=protected,
+        defense_builder=defense_builder,
+        model_victim=model_victim,
+    ).run()

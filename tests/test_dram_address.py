@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.dram import AddressMapper, DRAMConfig, RowAddress
+from repro.dram import AddressMapper, ChannelInterleaver, DRAMConfig, RowAddress
 
 
 @pytest.fixture(scope="module")
@@ -121,3 +121,78 @@ class TestReservedRows:
         assert locals_ == list(
             range(cfg.usable_rows_per_subarray, cfg.rows_per_subarray)
         )
+
+
+class TestChannelInterleaver:
+    @pytest.mark.parametrize("policy", ["row", "block"])
+    @pytest.mark.parametrize("channels", [1, 2, 4])
+    def test_round_trip(self, policy, channels):
+        config = DRAMConfig.tiny().with_channels(channels)
+        interleaver = ChannelInterleaver(config, policy=policy)
+        assert interleaver.system_rows == channels * config.total_rows
+        for system_row in range(interleaver.system_rows):
+            channel, local = interleaver.locate(system_row)
+            assert 0 <= channel < channels
+            assert 0 <= local < config.total_rows
+            assert interleaver.system_row(channel, local) == system_row
+
+    def test_single_channel_is_identity(self):
+        config = DRAMConfig.tiny()
+        for policy in ChannelInterleaver.POLICIES:
+            interleaver = ChannelInterleaver(config, policy=policy)
+            assert [interleaver.locate(r) for r in range(8)] == [
+                (0, r) for r in range(8)
+            ]
+
+    def test_row_policy_round_robins(self):
+        config = DRAMConfig.tiny().with_channels(4)
+        interleaver = ChannelInterleaver(config)
+        assert [interleaver.channel_of(r) for r in range(8)] == [
+            0, 1, 2, 3, 0, 1, 2, 3,
+        ]
+
+    def test_block_policy_is_contiguous(self):
+        config = DRAMConfig.tiny().with_channels(2)
+        interleaver = ChannelInterleaver(config, policy="block")
+        boundary = config.total_rows
+        assert interleaver.channel_of(boundary - 1) == 0
+        assert interleaver.channel_of(boundary) == 1
+
+    def test_errors(self):
+        config = DRAMConfig.tiny().with_channels(2)
+        interleaver = ChannelInterleaver(config)
+        with pytest.raises(ValueError):
+            ChannelInterleaver(config, policy="hash")
+        with pytest.raises(ValueError):
+            interleaver.locate(interleaver.system_rows)
+        with pytest.raises(ValueError):
+            interleaver.system_row(2, 0)
+        with pytest.raises(ValueError):
+            interleaver.system_row(0, config.total_rows)
+
+
+class TestChannelsConfig:
+    def test_defaults_unchanged(self):
+        config = DRAMConfig.small()
+        assert config.channels == 1
+        assert config.system_rows == config.total_rows
+        assert config.system_capacity_bytes == config.capacity_bytes
+        assert config.channel_config() is config
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DRAMConfig(name="bad", channels=0)
+
+    def test_channel_config_strips_channels(self):
+        config = DRAMConfig.small().with_channels(4)
+        per_channel = config.channel_config()
+        assert per_channel.channels == 1
+        assert per_channel.total_rows == config.total_rows
+        assert config.system_rows == 4 * per_channel.total_rows
+        assert config.with_channels(4) is config
+
+    def test_describe_mentions_channels(self):
+        single = DRAMConfig.small()
+        multi = single.with_channels(2)
+        assert "channels" not in single.describe()
+        assert "2 channels" in multi.describe()
