@@ -4,15 +4,18 @@ Runs the ``defended_hammer`` harness scenario -- ``HammerDriver``
 double-sided TRH-burst campaigns against templated victim bits -- once
 per defense on the scalar reference engine (``engine="scalar"``: one
 Python ``execute()``, one ``on_activate`` dispatch, one
-``RequestResult`` per activation) and once on the bulk engine
+``RequestResult`` per activation), once on the bulk engine
 (``engine="bulk"``: run-length requests, defense-planned chunks,
-summary-mode accounting), and records the per-defense wall-clock.
+summary-mode accounting), and once on the event-driven fast-forward
+engine (``engine="events"``: fused multi-tick epochs), and records the
+per-defense wall-clocks.
 
-The two engines must produce **identical scenario payloads** (same
+All three engines must produce **identical scenario payloads** (same
 flip outcomes, issued/blocked tallies, memory stats bit-for-bit, same
 mitigation accounting); the recorder refuses to write an artifact
 otherwise.  The ``DRAM-Locker`` cell exercises the blocked-run summary
-path; ``None`` is the undefended bulk baseline.
+path; ``None`` is the undefended baseline (and the cell where the
+events engine's cross-tick fusion applies in full).
 
 Run with:  python benchmarks/bench_defended_hammer.py [--trh N]
 """
@@ -106,12 +109,20 @@ def main(argv: list[str] | None = None) -> int:
         bulk_s, bulk_payload = _run_cell(
             defense, "bulk", args.trh, args.repeats
         )
-        identical = _strip_engine(scalar_payload) == _strip_engine(bulk_payload)
+        events_s, events_payload = _run_cell(
+            defense, "events", args.trh, args.repeats
+        )
+        reference = _strip_engine(scalar_payload)
+        identical = reference == _strip_engine(bulk_payload)
+        events_identical = reference == _strip_engine(events_payload)
         cell = {
             "scalar_s": round(scalar_s, 4),
             "bulk_s": round(bulk_s, 4),
+            "events_s": round(events_s, 4),
             "speedup": round(scalar_s / bulk_s, 2),
+            "events_speedup": round(scalar_s / events_s, 2),
             "results_identical": identical,
+            "events_identical": events_identical,
             "flipped": bulk_payload["protected_bits_flipped"],
             "blocked": sum(o["blocked"] for o in bulk_payload["outcomes"]),
         }
@@ -119,11 +130,14 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"{defense:12s} scalar {scalar_s * 1e3:8.1f}ms  "
             f"bulk {bulk_s * 1e3:8.1f}ms  ({cell['speedup']:5.2f}x)  "
-            f"identical={identical}"
+            f"events {events_s * 1e3:8.1f}ms  "
+            f"({cell['events_speedup']:5.2f}x)  "
+            f"identical={identical and events_identical}"
         )
-        if not identical:
+        if not identical or not events_identical:
+            diverged = "bulk" if not identical else "events"
             raise SystemExit(
-                f"{defense}: bulk engine diverged from the scalar "
+                f"{defense}: {diverged} engine diverged from the scalar "
                 "reference; refusing to record"
             )
 

@@ -41,7 +41,12 @@ Execution engines and APIs:
 ``engine="scalar"`` at construction keeps every path on the reference
 loop (the discipline shared with ``repro.nn.functional.contract`` and
 the suffix-forward search engine: the fast path is only used where
-equivalence is pinned).
+equivalence is pinned).  ``engine="events"`` goes one layer further:
+ACT runs are executed by the event-driven fast-forward core
+(:mod:`repro.controller.events`), which leaps refresh ticks inside one
+fused ``np.add.accumulate`` epoch instead of dropping to a scalar step
+at every tick -- still bit-identical to both reference engines (the
+scalar ⊂ bulk ⊂ events contract ``docs/ARCHITECTURE.md`` documents).
 """
 
 from __future__ import annotations
@@ -55,6 +60,7 @@ from ..defenses.base import Defense
 from ..dram.device import DRAMDevice
 from ..dram.stats import walk_add_many
 from ..locker.lock_table import LOCK_LOOKUP_NS
+from . import events as events_core
 from .request import (
     Kind,
     MemRequest,
@@ -67,7 +73,20 @@ from .request import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..locker.locker import DRAMLocker
 
-__all__ = ["MemoryController", "SummarySink", "make_summary_sink", "LOCK_LOOKUP_NS"]
+__all__ = [
+    "ENGINES",
+    "MemoryController",
+    "SummarySink",
+    "make_summary_sink",
+    "LOCK_LOOKUP_NS",
+]
+
+#: The execution engines a controller can be built with, equivalence-
+#: ordered: ``scalar`` is the reference loop, ``bulk`` chunks quiet ACT
+#: runs between scalar boundaries, ``events`` fast-forwards whole
+#: multi-tick epochs (see :mod:`repro.controller.events`).  All three
+#: produce bit-identical payloads.
+ENGINES = ("scalar", "bulk", "events")
 
 
 class _ListSink:
@@ -80,7 +99,7 @@ class _ListSink:
         self.results: list[RequestResult] = []
 
     def add(self, result: RequestResult) -> None:
-        # Scalar results were already logged by ``execute`` itself.
+        """Collect one scalar-path result (already logged by ``execute``)."""
         self.results.append(result)
 
     def add_run(
@@ -93,6 +112,7 @@ class _ListSink:
         defense_ns: float,
         physical: int | None,
     ) -> None:
+        """Materialize one bulk run as ``count`` per-request results."""
         chunk = [
             RequestResult(
                 requests[k],
@@ -118,6 +138,7 @@ class SummarySink:
         self.summary = RunSummary()
 
     def add(self, result: RequestResult) -> None:
+        """Fold one result into the running :class:`RunSummary`."""
         summary = self.summary
         if result.status is Status.BLOCKED:
             summary.blocked += 1
@@ -138,6 +159,11 @@ class SummarySink:
         defense_ns: float,
         physical: int | None,
     ) -> None:
+        """Fold one bulk run into the summary without materializing it.
+
+        The float sums advance via :func:`walk_add_many`, replaying the
+        scalar left-to-right addition order bit-for-bit.
+        """
         summary = self.summary
         if status is Status.BLOCKED:
             summary.blocked += count
@@ -167,8 +193,10 @@ class MemoryController:
         locker: "DRAMLocker | None" = None,
         engine: str = "bulk",
     ):
-        if engine not in ("bulk", "scalar"):
-            raise ValueError("engine must be 'bulk' or 'scalar'")
+        if engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {engine!r}"
+            )
         self.device = device
         self.defense = defense
         self.locker = locker
@@ -188,6 +216,7 @@ class MemoryController:
         size: int = 64,
         privileged: bool = False,
     ) -> RequestResult:
+        """Execute one READ of ``row`` (convenience wrapper)."""
         return self.execute(
             MemRequest(Kind.READ, row, column, size, privileged=privileged)
         )
@@ -199,6 +228,7 @@ class MemoryController:
         size: int = 64,
         privileged: bool = False,
     ) -> RequestResult:
+        """Execute one WRITE to ``row`` (convenience wrapper)."""
         return self.execute(
             MemRequest(Kind.WRITE, row, column, size, privileged=privileged)
         )
@@ -230,6 +260,13 @@ class MemoryController:
     # Core execution
     # ------------------------------------------------------------------
     def execute(self, request: MemRequest) -> RequestResult:
+        """Execute one request on the scalar reference path.
+
+        This is the semantics every fast engine is held to: locker
+        lookup/blocking, defense ``on_activate`` dispatch, timing and
+        energy charges, RowHammer accounting, and one
+        :class:`RequestResult` -- request at a time.
+        """
         device = self.device
         timing = device.timing
         physical = request.row
@@ -363,7 +400,9 @@ class MemoryController:
 
     def _drain(self, requests: Sequence[MemRequest], sink) -> None:
         """Feed a request stream through ``sink`` via the configured
-        engine, finding bulkable ACT runs when ``engine='bulk'``."""
+        engine, finding bulkable ACT runs when ``engine`` is ``'bulk'``
+        or ``'events'`` (the engines differ only in how those runs are
+        committed; everything else shares the scalar path)."""
         if self.engine == "scalar":
             if isinstance(requests, RequestRun):
                 request = requests.request
@@ -373,12 +412,17 @@ class MemoryController:
                 for request in requests:
                     sink.add(self.execute(request))
             return
+        act_run = (
+            self._execute_act_run_events
+            if self.engine == "events"
+            else self._execute_act_run
+        )
         if isinstance(requests, RequestRun):
             # Run-length input: the whole stream is one known run, no
             # per-element scan needed.
             total = len(requests)
             if total > 1 and requests.request.kind is Kind.ACT:
-                self._execute_act_run(requests, 0, total, sink)
+                act_run(requests, 0, total, sink)
             else:
                 for index in range(total):
                     sink.add(self.execute(requests.request))
@@ -402,11 +446,23 @@ class MemoryController:
                         break
                     end += 1
                 if end - index > 1:
-                    self._execute_act_run(requests, index, end, sink)
+                    act_run(requests, index, end, sink)
                     index = end
                     continue
             sink.add(self.execute(request))
             index += 1
+
+    def _execute_act_run_events(
+        self,
+        requests: Sequence[MemRequest],
+        start: int,
+        end: int,
+        sink,
+    ) -> None:
+        """The ``engine="events"`` ACT-run executor: the fast-forward
+        core of :mod:`repro.controller.events`, which fuses whole
+        multi-tick epochs into one accumulate pass."""
+        events_core.execute_act_run(self, requests, start, end, sink)
 
     def _execute_act_run(
         self,

@@ -44,6 +44,8 @@ class Kind(Enum):
 
 
 class Status(Enum):
+    """Outcome of one request: served or locker-blocked."""
+
     DONE = auto()
     BLOCKED = auto()
 
@@ -87,6 +89,7 @@ class RequestResult:
 
     @property
     def blocked(self) -> bool:
+        """True when the locker refused the request."""
         return self.status is Status.BLOCKED
 
 
@@ -140,4 +143,5 @@ class RunSummary:
 
     @property
     def requested(self) -> int:
+        """Total requests the run covered (issued + blocked)."""
         return self.issued + self.blocked

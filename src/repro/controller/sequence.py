@@ -32,6 +32,7 @@ class SequenceReport:
 
     @property
     def submitted(self) -> int:
+        """Total requests drained (executed + blocked)."""
         return self.executed + self.blocked
 
 
@@ -43,9 +44,11 @@ class Sequence:
         self._queue: deque[MemRequest] = deque()
 
     def push(self, request: MemRequest) -> None:
+        """Queue one request."""
         self._queue.append(request)
 
     def extend(self, requests: Iterable[MemRequest]) -> None:
+        """Queue a request stream in order."""
         self._queue.extend(requests)
 
     def __len__(self) -> int:

@@ -192,23 +192,42 @@ def compare_serving(
 ) -> RegressionReport:
     """Regression gate for the serving benchmark artifact.
 
-    Three properties:
+    Four properties:
 
     * **SLA-stat equivalence** (no tolerance): every cell's
       deterministic SLA fingerprint -- request/issued/blocked tallies
       and latency percentiles, all *simulated* quantities that transfer
       across runner classes -- must equal the committed baseline
       exactly; a drift means the serving path's behaviour changed.
+    * **Engine equivalence** (no tolerance): every current cell that
+      recorded an ``engine_check`` must report the events-engine
+      payload bit-identical to the bulk reference (the scalar <= bulk
+      <= events contract in ``docs/ARCHITECTURE.md``).
     * **Channel scaling**: each defense's 1-to-max-channel aggregate
       requests/sec ratio must not shrink more than
       ``throughput_tolerance`` versus the baseline (ratios of simulated
       throughput, so they transfer too).
-    * **Protection intact** (no tolerance): the locker cells report
-      zero victim flip events, and the model-victim probe's accuracy is
-      unchanged under the co-located attack.
+    * **Protection intact** (no tolerance): every locker cell's victim
+      flip-event count equals the committed baseline's -- zero for any
+      cell the baseline does not know.  (The count is deterministic;
+      at high channel counts a pinned nonzero count records a known
+      unlock-SWAP-failure exposure event, not a regression.)  The
+      model-victim probe's accuracy must be unchanged under the
+      co-located attack.
     """
     report = RegressionReport()
     current_cells = current.get("cells", {})
+    for name, cell in sorted(current_cells.items()):
+        engine_check = cell.get("engine_check")
+        if engine_check is None:
+            continue
+        check = f"{name}: events engine bit-identical to bulk reference"
+        if engine_check.get("identical"):
+            report.checks.append(check)
+        else:
+            report.violations.append(
+                f"{name}: events engine diverged from the bulk reference"
+            )
     for name, base_cell in sorted(baseline.get("cells", {}).items()):
         cell = current_cells.get(name)
         if cell is None:
@@ -244,8 +263,14 @@ def compare_serving(
         if not cell.get("protected"):
             continue
         flips = cell.get("victim_flip_events", 0)
-        check = f"{name}: protected victim intact ({flips} flip events)"
-        if flips:
+        base_flips = (
+            baseline.get("cells", {}).get(name, {}).get("victim_flip_events", 0)
+        )
+        check = (
+            f"{name}: protected victim flip events {flips} "
+            f"(baseline {base_flips})"
+        )
+        if flips != base_flips:
             report.violations.append(check)
         else:
             report.checks.append(check)
@@ -284,7 +309,9 @@ def compare_defended_hammer(
     correctness property, no tolerance), and each cell's *speedup
     ratio* -- which transfers across runner classes, unlike wall-clock
     -- must not have shrunk more than ``speedup_tolerance`` versus the
-    committed baseline.
+    committed baseline.  Cells that also recorded the events engine
+    (``events_identical``) must report it bit-identical to the same
+    scalar reference.
     """
     report = RegressionReport()
     current_defenses = current.get("defenses", {})
@@ -292,6 +319,10 @@ def compare_defended_hammer(
         if not cell.get("results_identical", False):
             report.violations.append(
                 f"{name}: bulk engine diverged from the scalar reference"
+            )
+        if "events_identical" in cell and not cell["events_identical"]:
+            report.violations.append(
+                f"{name}: events engine diverged from the scalar reference"
             )
     for name, base_cell in sorted(baseline.get("defenses", {}).items()):
         cell = current_defenses.get(name)

@@ -152,15 +152,20 @@ class ServingSimulation:
             ),
         )
         self.sla = SLAAccountant()
+        # The shared cross-channel event queue (engine="events" only):
+        # every stream of a slice is submitted, then the slice drains
+        # in slowest-channel-first order.  ``None`` keeps the immediate
+        # per-stream execution of the bulk/scalar drives.
+        self._queue = (
+            self.system.event_queue() if config.engine == "events" else None
+        )
         # The victim owner's unlock-window stream: the same
         # guard-selection policy the attack experiments use, in system
         # row space, booked against the "victim-owner" tenant.
-        owner_sink = self.sla.sink("victim-owner")
+        self._owner_sink = self.sla.sink("victim-owner")
         self._victim_traffic = GuardRowTraffic(
             self.system.neighbors,
-            lambda row: self.system.execute_stream(
-                [MemRequest(Kind.READ, row, privileged=True)], owner_sink
-            ),
+            self._owner_read,
             seed=derive_seed("victim-traffic", config.seed),
         )
         # Count every disturbance flip that lands in a victim row --
@@ -183,6 +188,19 @@ class ServingSimulation:
     def _on_victim_flip(self, flip, victim_locals) -> None:
         if flip.row in victim_locals:
             self.victim_flip_events += 1
+
+    def _owner_read(self, row: int) -> None:
+        """One privileged guard-row read, booked to the victim owner
+        (submitted to the event queue when one is driving)."""
+        stream = [MemRequest(Kind.READ, row, privileged=True)]
+        self._dispatch(stream, self._owner_sink)
+
+    def _dispatch(self, requests, sink) -> None:
+        """Route one stream: immediately, or via the event queue."""
+        if self._queue is None:
+            self.system.execute_stream(requests, sink)
+        else:
+            self.system.submit_stream(self._queue, requests, sink)
 
     def _tenant_partitions(self) -> list[tuple[int, int]]:
         """Per-tenant system-row ranges that stay clear of every
@@ -291,18 +309,29 @@ class ServingSimulation:
     # The serving loop
     # ------------------------------------------------------------------
     def run(self) -> dict:
+        """Run every time slice and return the scenario payload.
+
+        A slice boundary is both serving-level events of the
+        fast-forward design: the **arrival burst edge** (the per-tenant
+        arrival RNGs draw at the top of the slice) and the
+        **SLA-histogram epoch** (under ``engine="events"`` the shared
+        queue drains at the bottom, after which every tenant's
+        percentile books are current).
+        """
         config = self.config
-        system = self.system
         sla = self.sla
         for slice_index in range(config.slices):
-            # Tenant traffic, multiplexed onto channels via the bulk
-            # engine; each tenant's latencies stream into its books.
+            # Tenant traffic, multiplexed onto channels via the
+            # configured engine; each tenant's latencies stream into
+            # its books through the controller sink protocol.
             for op in self.generator.slice_ops(slice_index):
                 sla.observe_op(op.tenant, op.kind)
-                system.execute_stream(op.requests, sla.sink(op.tenant))
+                self._dispatch(op.requests, sla.sink(op.tenant))
             self._victim_owner_slice()
             if config.colocated:
                 self._attacker_slice()
+            if self._queue is not None:
+                self._queue.drain()
         return self._payload()
 
     def _victim_owner_slice(self) -> None:
@@ -322,7 +351,7 @@ class ServingSimulation:
         for row in self.campaign_rows:
             for aggressor in self.system.neighbors(row, radius=1):
                 self.sla.observe_op("attacker", "hammer")
-                self.system.execute_stream(
+                self._dispatch(
                     RequestRun(
                         MemRequest(Kind.ACT, aggressor, privileged=False),
                         config.hammer_burst,

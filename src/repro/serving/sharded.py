@@ -30,6 +30,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Sequence
 
 from ..controller.controller import MemoryController, make_summary_sink
+from ..controller.events import SystemEventQueue
 from ..controller.request import (
     Kind,
     MemRequest,
@@ -134,6 +135,7 @@ class ShardedMemorySystem:
     # ------------------------------------------------------------------
     @property
     def system_rows(self) -> int:
+        """Total rows in the flat system address space."""
         return self.interleaver.system_rows
 
     def locate(self, system_row: int) -> tuple[ChannelState, int]:
@@ -142,6 +144,7 @@ class ShardedMemorySystem:
         return self.channels[channel], local
 
     def system_row(self, channel: int, local_row: int) -> int:
+        """Lift a channel-local row back to its system address."""
         return self.interleaver.system_row(channel, local_row)
 
     def neighbors(self, system_row: int, radius: int = 1) -> list[int]:
@@ -186,6 +189,7 @@ class ShardedMemorySystem:
     # Execution (system-row in, channel-routed out)
     # ------------------------------------------------------------------
     def execute(self, request: MemRequest) -> RequestResult:
+        """Route one system-row request to its owning channel."""
         state, translated = self._translate(request)
         return state.controller.execute(translated)
 
@@ -193,6 +197,7 @@ class ShardedMemorySystem:
         self, system_row: int, column: int = 0, size: int = 64,
         privileged: bool = False,
     ) -> RequestResult:
+        """Convenience READ of one system row."""
         return self.execute(
             MemRequest(Kind.READ, system_row, column, size, privileged=privileged)
         )
@@ -201,6 +206,7 @@ class ShardedMemorySystem:
         self, system_row: int, column: int = 0, size: int = 64,
         privileged: bool = False,
     ) -> RequestResult:
+        """Convenience WRITE to one system row."""
         return self.execute(
             MemRequest(Kind.WRITE, system_row, column, size, privileged=privileged)
         )
@@ -252,9 +258,65 @@ class ShardedMemorySystem:
         return sink.summary
 
     # ------------------------------------------------------------------
+    # Event-driven execution (the serving engine's "events" drive)
+    # ------------------------------------------------------------------
+    def event_queue(self) -> SystemEventQueue:
+        """One shared cross-channel event queue over this system.
+
+        The queue schedules submitted streams in slowest-channel-first
+        order while preserving per-channel and per-sink FIFO order --
+        the two constraints that make its payloads bit-identical to
+        immediate :meth:`execute_stream` calls (channels are
+        independent state machines; sinks fold observations in
+        first-seen order).  The serving engine drains it once per time
+        slice (the SLA-histogram epoch).
+        """
+        return SystemEventQueue(
+            lambda channel: self.channels[channel].device.now_ns
+        )
+
+    def submit_stream(
+        self, queue: SystemEventQueue, requests: Sequence[MemRequest], sink
+    ) -> None:
+        """Enqueue a stream on ``queue`` for clock-ordered execution.
+
+        Routing and per-channel sub-batching are identical to
+        :meth:`execute_stream` -- translation happens now, execution at
+        drain time.  A stream spanning several channels is submitted as
+        one atomic item on every involved channel, so its sub-batches
+        run back to back in original order.
+        """
+        if isinstance(requests, RequestRun):
+            state, translated = self._translate(requests.request)
+            run = RequestRun(translated, len(requests))
+            queue.submit(
+                (state.index,),
+                sink,
+                lambda: state.controller.execute_stream(run, sink),
+            )
+            return
+        batches: list[tuple[ChannelState, list[MemRequest]]] = []
+        for request in requests:
+            state, translated = self._translate(request)
+            if not batches or batches[-1][0] is not state:
+                batches.append((state, []))
+            batches[-1][1].append(translated)
+        if not batches:
+            return
+        channels = tuple(dict.fromkeys(state.index for state, _ in batches))
+
+        def run_batches() -> None:
+            """Drain this submission's per-channel batches, in order."""
+            for state, batch in batches:
+                state.controller.execute_stream(batch, sink)
+
+        queue.submit(channels, sink, run_batches)
+
+    # ------------------------------------------------------------------
     # Observation
     # ------------------------------------------------------------------
     def peek_bytes(self, system_row: int, column: int, length: int):
+        """Raw bytes of one system row, without touching timing state."""
         state, local = self.locate(system_row)
         return state.device.peek_bytes(local, column, length)
 

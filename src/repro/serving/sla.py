@@ -80,6 +80,7 @@ class StreamingPercentiles:
 
     @property
     def count(self) -> int:
+        """Number of samples observed so far."""
         return self._total
 
     def percentile(self, q: float) -> float:
@@ -156,6 +157,7 @@ class TenantSink(SummarySink):
         self.latency = StreamingPercentiles()
 
     def add(self, result) -> None:
+        """Fold one result; served requests also feed the latency stream."""
         super().add(result)
         if result.status is not Status.BLOCKED:
             self.latency.add(result.latency_ns)
@@ -163,6 +165,7 @@ class TenantSink(SummarySink):
     def add_run(
         self, requests, start, count, status, latency_ns, defense_ns, physical
     ) -> None:
+        """Fold one bulk run; served runs feed ``count`` latency samples."""
         super().add_run(
             requests, start, count, status, latency_ns, defense_ns, physical
         )
@@ -178,6 +181,7 @@ class _TenantBooks:
     ops: dict[str, int] = field(default_factory=dict)
 
     def observe_op(self, kind: str) -> None:
+        """Count one workload op of ``kind`` against this tenant."""
         self.ops[kind] = self.ops.get(kind, 0) + 1
 
 
@@ -207,6 +211,7 @@ class SLAAccountant:
     # Report
     # ------------------------------------------------------------------
     def tenant_report(self, tenant: str, sim_seconds: float) -> dict:
+        """One tenant's SLA report: counts, rates, latency percentiles."""
         books = self._tenants[tenant]
         summary = books.sink.summary
         latency = books.sink.latency

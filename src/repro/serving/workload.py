@@ -92,6 +92,7 @@ class TenantSpec:
 
     @property
     def inference_fraction(self) -> float:
+        """Remainder of the op mix assigned to inference bursts."""
         return 1.0 - self.read_fraction - self.write_fraction
 
 
@@ -156,6 +157,7 @@ class _TenantStream:
         self.row_cum = np.cumsum(zipf_weights(spec.rows[1], config.zipf_rows))
 
     def draw_row(self) -> int:
+        """One Zipf-popular row from this tenant's private range."""
         offset = int(
             np.searchsorted(self.row_cum, self.rng.random(), side="right")
         )
@@ -191,6 +193,7 @@ class WorkloadGenerator:
 
     @property
     def tenants(self) -> list[TenantSpec]:
+        """The tenant specs, in registration order."""
         return [stream.spec for stream in self._streams]
 
     # ------------------------------------------------------------------

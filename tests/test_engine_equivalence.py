@@ -1,0 +1,216 @@
+"""The scalar ⊂ bulk ⊂ events contract, end to end.
+
+``docs/ARCHITECTURE.md`` documents the contract; this suite enforces
+it across the grid the events engine must survive: every registered
+defense, locker unlock-SWAP windows (including swap-failure RNG
+draws), refresh-tick edge alignment, and multi-channel serving cells.
+"Identical" means bit-identical -- ``RequestResult`` fields, the float
+accumulators in ``MemoryStats``, hammer counters, locker and defense
+bookkeeping, and whole serving payloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.controller import Kind, MemRequest, MemoryController, RequestRun
+from repro.controller.controller import ENGINES
+from repro.dram import DRAMConfig, DRAMDevice, VulnerabilityMap
+from repro.eval.harness import DEFENDED_HAMMER_DEFENSES
+from repro.locker import DRAMLocker, LockerConfig
+from repro.serving import ServingConfig, run_serving
+
+DEFENSE_NAMES = [
+    name
+    for name, builder in DEFENDED_HAMMER_DEFENSES.items()
+    if builder is not None
+]
+
+FAST_ENGINES = [engine for engine in ENGINES if engine != "scalar"]
+
+
+# ----------------------------------------------------------------------
+# Controller-level grid: defense x locker x engines
+# ----------------------------------------------------------------------
+def _build(engine, *, defense_name=None, protected=False, trh=100,
+           relock_interval=150):
+    config = DRAMConfig.tiny()
+    vulnerability = VulnerabilityMap(config, seed=3, weak_cell_fraction=1e-4)
+    device = DRAMDevice(config, vulnerability=vulnerability, trh=trh)
+    locker = None
+    if protected:
+        locker = DRAMLocker(
+            device,
+            LockerConfig(
+                copy_error_rate=0.05,
+                relock_interval=relock_interval,
+                seed=7,
+            ),
+        )
+        locker.lock_rows([9, 11, 21])
+    defense = (
+        DEFENDED_HAMMER_DEFENSES[defense_name]() if defense_name else None
+    )
+    controller = MemoryController(
+        device, defense=defense, locker=locker, engine=engine
+    )
+    device.vulnerability.register_template(10, [3])
+    return device, controller, locker, defense
+
+
+def _adversarial_stream():
+    """Unlock-SWAP openers (privileged reads of locked rows), hammering
+    inside and outside the exposure windows, relock deadlines crossed
+    mid-run, and long undefended bursts the events engine fuses."""
+    requests = []
+    for _ in range(3):
+        requests.append(MemRequest(Kind.READ, 21, privileged=True))
+        requests += [MemRequest(Kind.ACT, 21) for _ in range(60)]
+        for aggressor in (9, 11):
+            requests += [MemRequest(Kind.ACT, aggressor) for _ in range(130)]
+        requests.append(MemRequest(Kind.WRITE, 33, size=256, privileged=True))
+        requests += [MemRequest(Kind.ACT, 50) for _ in range(400)]
+    return requests
+
+
+def _device_state(device):
+    return (
+        device.stats.as_dict(),
+        device.now_ns,
+        device.rowhammer.counters,
+        device.refresh.cursor,
+        device.refresh.next_ref_ns,
+        [device.peek_row(row).tobytes() for row in (9, 10, 11, 21, 50)],
+    )
+
+
+def _locker_state(locker):
+    if locker is None:
+        return None
+    return (
+        locker.table.lookups,
+        locker.table.hits,
+        locker.rw_instructions,
+        locker.blocked_requests,
+        locker.exposed,
+        locker.swap_engine.rng.bit_generator.state,
+    )
+
+
+def _result_fields(results):
+    return [
+        (r.status, r.latency_ns, r.defense_ns, r.row_hit, r.swapped,
+         tuple(r.flips))
+        for r in results
+    ]
+
+
+def _run(engine, **kwargs):
+    requests = _adversarial_stream()
+    device, controller, locker, defense = _build(engine, **kwargs)
+    if engine == "scalar":
+        results = [controller.execute(request) for request in requests]
+    else:
+        results = controller.execute_batch(requests)
+    defense_ns = defense.mitigation_ns_total if defense else None
+    return (
+        _result_fields(results),
+        _device_state(device),
+        _locker_state(locker),
+        defense_ns,
+    )
+
+
+@pytest.mark.parametrize("name", DEFENSE_NAMES)
+def test_all_engines_agree_per_defense(name):
+    reference = _run("scalar", defense_name=name)
+    for engine in FAST_ENGINES:
+        assert _run(engine, defense_name=name) == reference, engine
+
+
+@pytest.mark.parametrize("relock_interval", [90, 150, 1000])
+def test_all_engines_agree_across_unlock_swap_windows(relock_interval):
+    """Exposure windows opened by privileged reads, restore deadlines
+    crossed mid-hammer-run, and the swap-failure RNG stream (drawn at
+    execution) must line up across all three engines."""
+    reference = _run(
+        "scalar", protected=True, relock_interval=relock_interval
+    )
+    assert reference[2] is not None and reference[2][0] > 0
+    for engine in FAST_ENGINES:
+        state = _run(engine, protected=True, relock_interval=relock_interval)
+        assert state == reference, engine
+
+
+@pytest.mark.parametrize("engine", FAST_ENGINES)
+def test_refresh_tick_edge_alignment(engine):
+    """ACT-run lengths that end one step before, exactly on, and one
+    step after a refresh tick (and spanning several ticks) -- the
+    boundary cases the fused epoch's searchsorted discipline must get
+    exactly right."""
+    probe_device, probe_controller, _, _ = _build("scalar", trh=10**6)
+    step_ns = probe_device.timing.trc
+    quiet = probe_device.refresh.quiet_steps(probe_device.now_ns, step_ns)
+    for count in (quiet - 1, quiet, quiet + 1, quiet + 2, 4 * quiet + 3):
+        device_a, controller_a, _, _ = _build("scalar", trh=10**6)
+        run = RequestRun(MemRequest(Kind.ACT, 50, privileged=False), count)
+        for request in run:
+            controller_a.execute(request)
+        device_b, controller_b, _, _ = _build(engine, trh=10**6)
+        controller_b.execute_run(run.request, count)
+        assert _device_state(device_a) == _device_state(device_b), count
+
+
+@pytest.mark.parametrize("engine", FAST_ENGINES)
+def test_trh_crossing_alignment(engine):
+    """Run lengths straddling the RowHammer threshold: the crossing ACT
+    must run scalar in every engine, with identical flip outcomes."""
+    for count in (63, 64, 65, 200):
+        device_a, controller_a, _, _ = _build("scalar", trh=64)
+        for _ in range(count):
+            controller_a.execute(MemRequest(Kind.ACT, 9, privileged=False))
+        device_b, controller_b, _, _ = _build(engine, trh=64)
+        controller_b.execute_run(
+            MemRequest(Kind.ACT, 9, privileged=False), count
+        )
+        assert _device_state(device_a) == _device_state(device_b), count
+
+
+# ----------------------------------------------------------------------
+# Serving grid: defense x channels x engines, whole payloads
+# ----------------------------------------------------------------------
+def _serving_payload(engine, defense, channels):
+    protected = defense == "DRAM-Locker"
+    builder = None if defense in ("None", "DRAM-Locker") else (
+        DEFENDED_HAMMER_DEFENSES[defense]
+    )
+    payload = run_serving(
+        ServingConfig(
+            tenants=3,
+            channels=channels,
+            slices=8,
+            ops_per_slice=4.0,
+            colocated=True,
+            engine=engine,
+            seed=1,
+        ),
+        protected=protected,
+        defense_builder=builder,
+    )
+    payload["config"].pop("engine")
+    return payload
+
+
+@pytest.mark.parametrize("channels", [1, 2, 4])
+@pytest.mark.parametrize("defense", ["None", "DRAM-Locker"])
+def test_serving_payloads_identical_across_engines(defense, channels):
+    reference = _serving_payload("scalar", defense, channels)
+    for engine in FAST_ENGINES:
+        assert _serving_payload(engine, defense, channels) == reference, engine
+
+
+def test_serving_baseline_defense_events_matches_bulk():
+    # One baseline-defense cell (chunked fallback inside the events
+    # engine) at the full three-engine depth.
+    reference = _serving_payload("scalar", "TRR", 2)
+    for engine in FAST_ENGINES:
+        assert _serving_payload(engine, "TRR", 2) == reference, engine

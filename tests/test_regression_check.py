@@ -236,6 +236,22 @@ class TestCompareDefendedHammer:
         assert not report.ok
         assert "diverged" in report.violations[0]
 
+    def test_divergent_events_engine_fails(self):
+        from repro.eval.regression import compare_defended_hammer
+
+        bad = dict(HAMMER_CELL, events_identical=False)
+        report = compare_defended_hammer(
+            hammer_artifact({"para": bad}),
+            hammer_artifact({"para": dict(HAMMER_CELL)}),
+        )
+        assert not report.ok
+        assert any("events engine" in v for v in report.violations)
+        good = dict(HAMMER_CELL, events_identical=True)
+        assert compare_defended_hammer(
+            hammer_artifact({"para": good}),
+            hammer_artifact({"para": dict(HAMMER_CELL)}),
+        ).ok
+
     def test_speedup_ratio_regression_fails(self):
         from repro.eval.regression import compare_defended_hammer
 
