@@ -15,7 +15,10 @@ engine equivalence plus per-cell speedup *ratios* instead, which do
 transfer across runner classes.  Serving artifacts
 (``bench_serving.py``) are gated on exact SLA-stat equivalence,
 channel-scaling throughput ratios (``--speedup-tolerance``), and the
-protected victim staying intact under the co-located attack.  Refresh a baseline by copying a
+protected victim staying intact under the co-located attack; live
+serving artifacts (``bench_serving_live.py``) on replay equivalence,
+exact overload fingerprints, and admission holding the sojourn
+target.  Refresh a baseline by copying a
 trusted run's artifact over the ``*_baseline.json`` file under
 ``benchmarks/artifacts/`` -- regenerate harness baselines on the same
 runner class the workflow uses, since wall-clock baselines do not
@@ -27,11 +30,13 @@ import argparse
 from repro.eval.regression import (
     ATTACK_SEARCH_SCHEMA,
     DEFENDED_HAMMER_SCHEMA,
+    SERVING_LIVE_SCHEMA,
     SERVING_SCHEMA,
     compare_artifacts,
     compare_attack_search,
     compare_defended_hammer,
     compare_serving,
+    compare_serving_live,
     load_artifact,
 )
 
@@ -59,6 +64,8 @@ def main(argv: list[str] | None = None) -> int:
         report = compare_serving(
             current, baseline, throughput_tolerance=args.speedup_tolerance
         )
+    elif current.get("schema") == SERVING_LIVE_SCHEMA:
+        report = compare_serving_live(current, baseline)
     else:
         report = compare_artifacts(
             current,

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Protocol, runtime_checkable
 
+from ..engines import SEARCH_ENGINES, resolve_engine
 from ..nn.data import Dataset
 from ..nn.quant import QuantizedModel
 from ..nn.storage import WeightStore
@@ -72,6 +73,11 @@ class AttackContext:
     seed: int = 0
     attack_batch: int = 64
     engine: str = "suffix"
+
+    def __post_init__(self) -> None:
+        # One uniform unknown-engine error, no matter which layer
+        # (controller, session, harness, context) sees the name first.
+        resolve_engine(self.engine, allowed=SEARCH_ENGINES, kind="search")
 
     @property
     def in_dram(self) -> bool:

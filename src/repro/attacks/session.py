@@ -53,6 +53,7 @@ from typing import Any, Callable, NamedTuple, Sequence
 
 import numpy as np
 
+from ..engines import SEARCH_ENGINES as _SEARCH_ENGINES, resolve_engine
 from ..nn.functional import cross_entropy, cross_entropy_grad
 from ..nn.layers import Sequential
 from ..nn.model import PrefixActivationCache, iter_layers
@@ -60,7 +61,7 @@ from ..nn.quant import QuantizedModel
 
 __all__ = ["SEARCH_ENGINES", "SearchTerm", "SessionStats", "SearchSession"]
 
-SEARCH_ENGINES = ("suffix", "full")
+SEARCH_ENGINES = _SEARCH_ENGINES
 
 #: A candidate flip: ``(tensor path, flat weight index, bit)``.
 Candidate = tuple[str, int, int]
@@ -94,10 +95,7 @@ class SearchSession:
     """Shared candidate-evaluation engine for one attack instance."""
 
     def __init__(self, qmodel: QuantizedModel, engine: str = "suffix"):
-        if engine not in SEARCH_ENGINES:
-            raise ValueError(
-                f"unknown search engine {engine!r}; choose from {SEARCH_ENGINES}"
-            )
+        resolve_engine(engine, allowed=SEARCH_ENGINES, kind="search")
         self.qmodel = qmodel
         self.model = qmodel.model
         self.stats = SessionStats()

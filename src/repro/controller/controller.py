@@ -58,6 +58,7 @@ import numpy as np
 
 from ..defenses.base import Defense
 from ..dram.device import DRAMDevice
+from ..engines import EXECUTION_ENGINES, resolve_engine
 from ..dram.stats import walk_add_many
 from ..locker.lock_table import LOCK_LOOKUP_NS
 from . import events as events_core
@@ -85,8 +86,10 @@ __all__ = [
 #: ordered: ``scalar`` is the reference loop, ``bulk`` chunks quiet ACT
 #: runs between scalar boundaries, ``events`` fast-forwards whole
 #: multi-tick epochs (see :mod:`repro.controller.events`).  All three
-#: produce bit-identical payloads.
-ENGINES = ("scalar", "bulk", "events")
+#: produce bit-identical payloads.  Canonically defined in
+#: :mod:`repro.engines`; re-exported here under the controller's
+#: historical name.
+ENGINES = EXECUTION_ENGINES
 
 
 class _ListSink:
@@ -193,10 +196,7 @@ class MemoryController:
         locker: "DRAMLocker | None" = None,
         engine: str = "bulk",
     ):
-        if engine not in ENGINES:
-            raise ValueError(
-                f"engine must be one of {ENGINES}, got {engine!r}"
-            )
+        resolve_engine(engine)
         self.device = device
         self.defense = defense
         self.locker = locker

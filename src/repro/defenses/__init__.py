@@ -13,9 +13,17 @@ from .trackers import MisraGries
 from .trr import TRR
 from .twice import TWiCE
 from .overhead import dram_locker_overhead, format_table1, table1_reports
+from .builders import (
+    DEFENSE_BUILDERS,
+    DEFENDED_HAMMER_DEFENSES,
+    resolve_serving_defense,
+)
 
 __all__ = [
     "CounterPerRow",
+    "DEFENSE_BUILDERS",
+    "DEFENDED_HAMMER_DEFENSES",
+    "resolve_serving_defense",
     "CounterTree",
     "Defense",
     "DefenseAction",

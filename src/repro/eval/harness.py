@@ -40,19 +40,12 @@ from typing import Any, Callable, Iterable, Sequence
 import numpy as np
 
 from ..controller.controller import MemoryController
-from ..defenses import (
-    PARA,
-    RRS,
-    SRS,
-    TRR,
-    CounterPerRow,
-    CounterTree,
-    Graphene,
-    Hydra,
-    NoDefense,
-    Shadow,
-    TWiCE,
+from ..defenses.builders import (
+    DEFENSE_BUILDERS,
+    DEFENDED_HAMMER_DEFENSES,
+    resolve_serving_defense,
 )
+from ..engines import resolve_engine
 from ..attacks import available_attacks
 from ..attacks.hammer import HammerDriver
 from ..dram.config import DRAMConfig
@@ -305,22 +298,9 @@ def _run_layout_ablation(scale: Scale, seed: int) -> dict:
     }
 
 
-#: Baseline-defense factories for :func:`_run_defense_campaign`, shared
-#: with ``examples/compare_defenses.py``.
-DEFENSE_BUILDERS: dict[str, Callable[[], Any] | None] = {
-    "None": lambda: NoDefense(),
-    "PARA": lambda: PARA(probability=0.05),
-    "TRR": lambda: TRR(table_entries=16),
-    "Graphene": lambda: Graphene(table_entries=64),
-    "Hydra": lambda: Hydra(group_size=16),
-    "TWiCE": lambda: TWiCE(),
-    "Counter/Row": lambda: CounterPerRow(),
-    "CounterTree": lambda: CounterTree(split_threshold=8),
-    "RRS": lambda: RRS(seed=1),
-    "SRS": lambda: SRS(seed=1),
-    "SHADOW": lambda: Shadow(shuffle_period=100, seed=1),
-    "DRAM-Locker": None,  # handled via the locker, not a Defense
-}
+# DEFENSE_BUILDERS / DEFENDED_HAMMER_DEFENSES are re-exported above
+# from repro.defenses.builders (the canonical definitions) so existing
+# ``harness.DEFENSE_BUILDERS`` callers keep working unchanged.
 
 
 def _run_defense_campaign(
@@ -375,27 +355,6 @@ def _run_defense_campaign(
         "rowclones": stats.rowclones,
         "memory_stats": stats.as_dict(),
     }
-
-
-#: Defense factories for the defended-hammer workload.  Unlike
-#: :data:`DEFENSE_BUILDERS` (tuned for the TRH=400 per-ACT campaign),
-#: these leave thresholds unset so each defense derives its operating
-#: point from the device's TRH at attach time; PARA runs at its
-#: published ~1/TRH probability.
-DEFENDED_HAMMER_DEFENSES: dict[str, Callable[[], Any] | None] = {
-    "None": lambda: NoDefense(),
-    "PARA": lambda: PARA(probability=0.001),
-    "TRR": lambda: TRR(table_entries=16),
-    "Graphene": lambda: Graphene(table_entries=64),
-    "Hydra": lambda: Hydra(group_size=16),
-    "TWiCE": lambda: TWiCE(),
-    "Counter/Row": lambda: CounterPerRow(),
-    "CounterTree": lambda: CounterTree(),
-    "RRS": lambda: RRS(seed=1),
-    "SRS": lambda: SRS(seed=1),
-    "SHADOW": lambda: Shadow(shuffle_period=1000, seed=1),
-    "DRAM-Locker": None,  # handled via the locker, not a Defense
-}
 
 
 def _run_defended_hammer(
@@ -498,12 +457,7 @@ def _run_serving(
     """
     from ..serving import ServingConfig, run_serving
 
-    protected = defense == "DRAM-Locker"
-    builder = None
-    if not protected and defense != "None":
-        builder = DEFENDED_HAMMER_DEFENSES.get(defense)
-        if builder is None:
-            raise ValueError(f"unknown serving defense {defense!r}")
+    protected, builder = resolve_serving_defense(defense)
     model_victim = None
     if victim == "model":
         from .experiments import build_victim
@@ -532,6 +486,130 @@ def _run_serving(
     return payload
 
 
+def _run_serving_live(
+    scale: Scale,
+    seed: int,
+    tenants: int = 4,
+    channels: int = 1,
+    defense: str = "DRAM-Locker",
+    colocated: bool = True,
+    arrival: str = "poisson",
+    slices: int = 24,
+    ops_per_slice: float = 6.0,
+    policy: str = "row",
+    engine: str = "bulk",
+    verify: bool = False,
+    overload: float = 1.0,
+    admission: str = "none",
+    p99_target_factor: float = 4.0,
+    scaling_channels: int = 0,
+    utilization: float = 0.7,
+) -> dict:
+    """One live-frontend cell: record a trace, replay it, stress it.
+
+    The cell always records the base config's calibrated trace and
+    replays it deterministically (no threads -- the matrix keeps its
+    worker-count invariance).  ``verify=True`` additionally runs the
+    closed loop and reports whether the replay is bit-identical
+    (the replay-equivalence contract).  ``overload > 1`` re-records the
+    same ops with the trace clock compressed by that factor -- the same
+    work arriving N times faster -- and ``admission`` decides what
+    screens it: ``"none"``, ``"pressure"`` (sojourn-p99 shedding at
+    ``p99_target_factor`` x the uncompressed baseline), or ``"token"``
+    (per-tenant token bucket at the base offered rate).
+    ``scaling_channels`` turns on dynamic channel scaling (block policy
+    only) with the same sojourn target.
+    """
+    from dataclasses import replace
+
+    from ..serving import (
+        AdmissionConfig,
+        ScalingConfig,
+        ServingConfig,
+        ServingSimulation,
+        record_serving_trace,
+        replay_neutral,
+        serve,
+    )
+
+    resolve_engine(engine)
+    base_config = ServingConfig(
+        tenants=tenants,
+        channels=channels,
+        slices=slices,
+        ops_per_slice=ops_per_slice,
+        arrival=arrival,
+        colocated=colocated,
+        policy=policy,
+        engine=engine,
+        seed=seed,
+        defense=defense,
+    )
+    base_trace = record_serving_trace(base_config, utilization=utilization)
+    base = serve(base_config, trace=base_trace)
+    base_sojourn = base.sojourn_p99_ns()
+
+    replay_identical = None
+    if verify:
+        closed = ServingSimulation(base_config).run()
+        replay_identical = (
+            replay_neutral(base.payload) == replay_neutral(closed)
+        )
+
+    target_ns = None
+    result = base
+    if overload > 1.0 or admission != "none" or scaling_channels:
+        if admission == "pressure" or scaling_channels:
+            if base_sojourn is None:
+                raise ValueError(
+                    "sojourn-based admission/scaling needs a sojourn "
+                    "baseline (events-engine replays have none)"
+                )
+            target_ns = base_sojourn * p99_target_factor
+        admission_config = None
+        if admission == "pressure":
+            admission_config = AdmissionConfig(p99_target_ns=target_ns)
+        elif admission == "token":
+            admission_config = AdmissionConfig(
+                rate=ops_per_slice / base_trace.slice_duration_s
+            )
+        elif admission != "none":
+            raise ValueError(f"unknown admission mode {admission!r}")
+        scaling = (
+            ScalingConfig(
+                max_channels=scaling_channels, p99_target_ns=target_ns
+            )
+            if scaling_channels
+            else None
+        )
+        cell_config = replace(
+            base_config, admission=admission_config, scaling=scaling
+        )
+        trace = (
+            record_serving_trace(
+                base_config,
+                slice_duration_s=base_trace.slice_duration_s / overload,
+            )
+            if overload > 1.0
+            else base_trace
+        )
+        result = serve(cell_config, trace=trace)
+
+    payload = result.payload
+    payload["defense"] = defense
+    payload["live_cell"] = {
+        "overload": overload,
+        "admission": admission,
+        "base_sojourn_p99_ns": base_sojourn,
+        "sojourn_p99_ns": result.sojourn_p99_ns(),
+        "p99_target_ns": target_ns,
+        "shed": result.shed_total,
+        "offered": result.live["pacing"]["offered"],
+        "replay_identical": replay_identical,
+    }
+    return payload
+
+
 SCENARIO_RUNNERS: dict[str, Callable[..., dict]] = {
     "attack": _run_attack,
     "fig1a": _run_fig1a,
@@ -551,6 +629,7 @@ SCENARIO_RUNNERS: dict[str, Callable[..., dict]] = {
     "defense_campaign": _run_defense_campaign,
     "defended_hammer": _run_defended_hammer,
     "serving": _run_serving,
+    "serving_live": _run_serving_live,
 }
 
 
@@ -1015,12 +1094,48 @@ def serving_scenarios(scale: Scale | None = None) -> list[Scenario]:
     return scenarios
 
 
+def serving_live_scenarios(scale: Scale | None = None) -> list[Scenario]:
+    """The live-frontend matrix: replay equivalence plus overload.
+
+    Two equivalence cells pin replay == closed loop under both
+    execution engines; the overload triplet compresses arrivals 2x on
+    a solo cell and compares no admission vs pressure shedding vs a
+    token bucket; the last two put the attacker back (admitted cell)
+    and exercise dynamic channel scaling under block policy.
+    ``benchmarks/bench_serving_live.py`` records the same story with
+    wall-clock pacing on top.
+    """
+    scale = scale or Scale.quick()
+
+    def cell(name: str, **params) -> Scenario:
+        return Scenario(
+            name, "serving_live", scale,
+            params=tuple(sorted(params.items())),
+        )
+
+    return [
+        cell("live-replay-equiv-ch2", channels=2, verify=True),
+        cell("live-replay-equiv-events-ch2", channels=2,
+             engine="events", verify=True),
+        cell("live-overload2x-open", colocated=False, overload=2.0),
+        cell("live-overload2x-pressure", colocated=False, overload=2.0,
+             admission="pressure"),
+        cell("live-overload2x-token", colocated=False, overload=2.0,
+             admission="token"),
+        cell("live-colocated-admitted-ch2", channels=2, overload=2.0,
+             admission="pressure"),
+        cell("live-scaling-block", colocated=False, overload=2.0,
+             policy="block", scaling_channels=2),
+    ]
+
+
 _SCENARIO_SETS = {
     "cheap": cheap_scenarios,
     "smoke": smoke_scenarios,
     "quick": quick_scenarios,
     "attacks": attack_scenarios,
     "serving": serving_scenarios,
+    "serving-live": serving_live_scenarios,
 }
 
 

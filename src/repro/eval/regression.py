@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 __all__ = [
     "ATTACK_SEARCH_SCHEMA",
     "DEFENDED_HAMMER_SCHEMA",
+    "SERVING_LIVE_SCHEMA",
     "SERVING_SCHEMA",
     "RegressionReport",
     "protected_accuracies",
@@ -30,6 +31,7 @@ __all__ = [
     "compare_attack_search",
     "compare_defended_hammer",
     "compare_serving",
+    "compare_serving_live",
     "load_artifact",
 ]
 
@@ -46,6 +48,10 @@ DEFENDED_HAMMER_SCHEMA = "dram-locker-defended-hammer-bench/1"
 #: Schema tag of the serving benchmark artifact
 #: (``benchmarks/bench_serving.py``).
 SERVING_SCHEMA = "dram-locker-serving-bench/1"
+
+#: Schema tag of the live-frontend serving benchmark artifact
+#: (``benchmarks/bench_serving_live.py``).
+SERVING_LIVE_SCHEMA = "dram-locker-serving-live-bench/1"
 
 
 def load_artifact(path: str) -> dict:
@@ -294,6 +300,133 @@ def compare_serving(
             report.violations.append(check)
         else:
             report.checks.append(check)
+    return report
+
+
+def compare_serving_live(
+    current: dict,
+    baseline: dict,
+) -> RegressionReport:
+    """Regression gate for the live-frontend serving artifact.
+
+    Everything compared is a *simulated* quantity (deterministic
+    replays of recorded traces), so the gate is exact -- no tolerances:
+
+    * **Replay equivalence**: every recorded replay cell must report
+      the infinite-speedup replay bit-identical to the closed-loop run
+      of the same config (the replay-equivalence contract,
+      ``docs/SERVING.md``).
+    * **Overload determinism**: each overload cell's SLA fingerprint
+      and shed count must equal the committed baseline's exactly.
+    * **Admission effectiveness**: every admitted overload cell that
+      records ``holds_p99`` must hold its sojourn target, and no
+      admitted cell's sojourn p99 may exceed the unadmitted (open)
+      cell's -- shedding must never make the tail *worse*.
+    * **Protection intact**: the co-located cell's victim flip events
+      must equal the baseline's (zero) while admission sheds load.
+    * **Conservation**: the wall-clock-paced live run must report
+      ``offered == served + shed`` (wall seconds themselves are not
+      compared; they do not transfer across runner classes).
+    """
+    report = RegressionReport()
+
+    current_replay = current.get("replay", {}).get("cells", {})
+    for name, cell in sorted(current_replay.items()):
+        check = f"replay {name}: bit-identical to the closed loop"
+        if cell.get("identical"):
+            report.checks.append(check)
+        else:
+            report.violations.append(
+                f"replay {name}: diverged from the closed loop"
+            )
+    for name in sorted(baseline.get("replay", {}).get("cells", {})):
+        if name not in current_replay:
+            report.violations.append(
+                f"replay cell {name!r} missing from current artifact"
+            )
+
+    current_overload = current.get("overload", {}).get("cells", {})
+    for name, base_cell in sorted(
+        baseline.get("overload", {}).get("cells", {}).items()
+    ):
+        cell = current_overload.get(name)
+        if cell is None:
+            report.violations.append(
+                f"overload cell {name!r} missing from current artifact"
+            )
+            continue
+        for key in ("sla_fingerprint", "shed"):
+            if key not in base_cell:
+                continue
+            check = f"overload {name}: {key} matches baseline"
+            if cell.get(key) != base_cell[key]:
+                report.violations.append(
+                    f"overload {name}: {key} diverged from baseline "
+                    f"({cell.get(key)} != {base_cell[key]})"
+                )
+            else:
+                report.checks.append(check)
+    open_cell = current_overload.get("open", {})
+    open_p99 = open_cell.get("sojourn_p99_ns")
+    for name, cell in sorted(current_overload.items()):
+        if "holds_p99" in cell:
+            check = (
+                f"overload {name}: sojourn p99 "
+                f"{cell.get('sojourn_p99_ns', float('nan')):.0f}ns holds "
+                f"target {cell.get('p99_target_ns', float('nan')):.0f}ns"
+            )
+            if cell["holds_p99"]:
+                report.checks.append(check)
+            else:
+                report.violations.append(check)
+        if name == "open" or open_p99 is None:
+            continue
+        p99 = cell.get("sojourn_p99_ns")
+        if p99 is not None:
+            check = (
+                f"overload {name}: admitted sojourn p99 {p99:.0f}ns <= "
+                f"open {open_p99:.0f}ns"
+            )
+            if p99 <= open_p99:
+                report.checks.append(check)
+            else:
+                report.violations.append(check)
+
+    colocated = current.get("colocated")
+    base_colocated = baseline.get("colocated")
+    if colocated is None:
+        if base_colocated is not None:
+            report.violations.append(
+                "co-located cell missing from current artifact"
+            )
+    else:
+        base_flips = (base_colocated or {}).get("victim_flip_events", 0)
+        flips = colocated.get("victim_flip_events", 0)
+        check = (
+            f"co-located: victim flip events {flips} "
+            f"(baseline {base_flips}) with {colocated.get('shed', 0)} "
+            "ops shed"
+        )
+        if flips != base_flips:
+            report.violations.append(check)
+        else:
+            report.checks.append(check)
+
+    live = current.get("live")
+    if live is None:
+        if baseline.get("live") is not None:
+            report.violations.append(
+                "live pacing section missing from current artifact"
+            )
+    else:
+        check = (
+            f"live: conservation offered={live.get('offered')} == "
+            f"served={live.get('served')} + shed={live.get('shed')}"
+        )
+        if live.get("conserved"):
+            report.checks.append(check)
+        else:
+            report.violations.append(check)
     return report
 
 

@@ -32,9 +32,12 @@ from dataclasses import asdict, dataclass
 import numpy as np
 
 from ..controller.request import Kind, MemRequest, RequestRun
+from ..defenses.builders import resolve_serving_defense
 from ..dram.config import DRAMConfig
+from ..engines import resolve_engine
 from ..locker.locker import LockerConfig
 from ..locker.planner import LockMode
+from .live import AdmissionConfig, ChannelScaler, ScalingConfig
 from .sharded import ShardedMemorySystem
 from .sla import SLAAccountant
 from .workload import (
@@ -89,6 +92,43 @@ class ServingConfig:
     relock_interval: int = 200
     engine: str = "bulk"
     seed: int = 0
+    #: Defense by name (``"DRAM-Locker"`` installs per-channel lockers,
+    #: ``"None"`` runs undefended, any other name resolves through
+    #: :data:`repro.defenses.builders.DEFENDED_HAMMER_DEFENSES`).
+    #: Explicit ``protected=`` / ``defense_builder=`` arguments to
+    #: :class:`ServingSimulation` override this.
+    defense: str = "DRAM-Locker"
+    #: Admission control for trace replay / live runs (``None`` admits
+    #: everything -- the closed-loop behaviour).
+    admission: AdmissionConfig | None = None
+    #: Dynamic channel scaling (``None`` keeps the channel set fixed).
+    #: Requires ``policy="block"``.
+    scaling: ScalingConfig | None = None
+    #: Path of a recorded trace to replay instead of generating the
+    #: workload closed-loop (the :func:`repro.serving.serve` facade
+    #: reads this; the simulation itself never touches the filesystem).
+    trace: str | None = None
+    #: Replay pacing: ``0`` replays at infinite speed (the
+    #: deterministic, bit-identical-to-closed-loop path); ``s > 0``
+    #: paces arrivals at ``s`` times the recorded rate on the wall
+    #: clock (the threaded live frontend).
+    speedup: float = 0.0
+
+    def __post_init__(self) -> None:
+        resolve_engine(self.engine)
+        if self.scaling is not None:
+            if self.policy != "block":
+                raise ValueError(
+                    "dynamic channel scaling requires policy='block': row "
+                    "interleaving would re-shard every tenant whenever a "
+                    "channel is added"
+                )
+            if self.scaling.max_channels < self.channels:
+                raise ValueError(
+                    "scaling.max_channels must be >= the base channel count"
+                )
+        if self.speedup < 0:
+            raise ValueError("speedup must be >= 0 (0 = infinite)")
 
 
 class ServingSimulation:
@@ -98,17 +138,33 @@ class ServingSimulation:
         self,
         config: ServingConfig,
         *,
-        protected: bool = True,
+        protected: bool | None = None,
         defense_builder=None,
         model_victim=None,
     ):
         """``protected`` installs per-channel DRAM-Lockers;
         ``defense_builder`` instead (or additionally) installs one
-        baseline-defense instance per channel.  ``model_victim`` is an
-        optional ``(dataset, qmodel)`` pair placed on channel 0."""
+        baseline-defense instance per channel; when both are left at
+        ``None`` they resolve from ``config.defense`` by name.
+        ``model_victim`` is an optional ``(dataset, qmodel)`` pair
+        placed on channel 0."""
+        if protected is None and defense_builder is None:
+            protected, defense_builder = resolve_serving_defense(
+                config.defense
+            )
+        elif protected is None:
+            protected = False
         self.config = config
         self.protected = protected
-        dram = DRAMConfig.small().with_channels(config.channels)
+        # Dynamic scaling pre-builds the spare channels (a channel is a
+        # whole memory system; hot-plugging one mid-run is not a thing),
+        # but tenants start partitioned over the base ``channels`` only.
+        built_channels = (
+            config.scaling.max_channels
+            if config.scaling is not None
+            else config.channels
+        )
+        dram = DRAMConfig.small().with_channels(built_channels)
         per_copy = 1.0 - (1.0 - config.swap_failure_rate) ** (1.0 / 3.0)
         self.system = ShardedMemorySystem(
             dram,
@@ -152,6 +208,20 @@ class ServingSimulation:
             ),
         )
         self.sla = SLAAccountant()
+        # Dynamic channel scaling: spill hot tenants into the spare
+        # channels' tenant zones when their sojourn p99 breaches the
+        # target (epoch-checked at slice boundaries).
+        self._scaler = (
+            ChannelScaler(
+                self.system,
+                {spec.name: spec.rows for spec in tenants},
+                base_channels=config.channels,
+                scaling=config.scaling,
+                tenant_first_local=TENANT_FIRST_LOCAL,
+            )
+            if config.scaling is not None
+            else None
+        )
         # The shared cross-channel event queue (engine="events" only):
         # every stream of a slice is submitted, then the slice drains
         # in slowest-channel-first order.  ``None`` keeps the immediate
@@ -318,21 +388,81 @@ class ServingSimulation:
         queue drains at the bottom, after which every tenant's
         percentile books are current).
         """
-        config = self.config
-        sla = self.sla
-        for slice_index in range(config.slices):
+        for slice_index in range(self.config.slices):
             # Tenant traffic, multiplexed onto channels via the
             # configured engine; each tenant's latencies stream into
             # its books through the controller sink protocol.
             for op in self.generator.slice_ops(slice_index):
-                sla.observe_op(op.tenant, op.kind)
-                self._dispatch(op.requests, sla.sink(op.tenant))
-            self._victim_owner_slice()
-            if config.colocated:
-                self._attacker_slice()
-            if self._queue is not None:
-                self._queue.drain()
+                self.serve_op(op.tenant, op.kind, op.requests)
+            self.end_slice()
         return self._payload()
+
+    def serve_op(
+        self,
+        tenant: str,
+        kind: str,
+        requests,
+        *,
+        arrival_s: float | None = None,
+        prepared=None,
+    ) -> None:
+        """Serve one workload op -- the unit both the closed loop and
+        the trace-replay/live paths share.
+
+        ``arrival_s`` (replay/live only) books the op's **sojourn** --
+        completion minus arrival on the trace clock, floored at its
+        service time -- the load-dependent latency the admission
+        controller defends.  ``prepared`` is an optional pre-translated
+        execution thunk from
+        :meth:`~repro.serving.sharded.ShardedMemorySystem.handoff_stream`
+        (the live frontend's ingestion thread does the address work);
+        it must wrap the same ``requests``.
+        """
+        sla = self.sla
+        sla.observe_op(tenant, kind)
+        if self._scaler is not None:
+            requests = self._scaler.route(tenant, requests)
+        sink = sla.sink(tenant)
+        if arrival_s is None or self._queue is not None:
+            if prepared is not None:
+                prepared()
+            else:
+                self._dispatch(requests, sink)
+            return
+        before_service = sink.summary.latency_ns
+        if prepared is not None:
+            prepared()
+        else:
+            self._dispatch(requests, sink)
+        involved = self._involved_channels(requests)
+        completion_ns = max(
+            self.system.channels[index].device.now_ns for index in involved
+        )
+        service_ns = sink.summary.latency_ns - before_service
+        sojourn_ns = max(service_ns, completion_ns - arrival_s * 1e9)
+        sla.observe_sojourn(tenant, sojourn_ns)
+
+    def end_slice(self) -> None:
+        """Close one time slice: victim-owner traffic, the co-located
+        attacker's burst, the event-queue drain (``engine="events"``),
+        and the channel scaler's epoch check."""
+        self._victim_owner_slice()
+        if self.config.colocated:
+            self._attacker_slice()
+        if self._queue is not None:
+            self._queue.drain()
+        if self._scaler is not None:
+            self._scaler.on_epoch(self.sla)
+
+    def _involved_channels(self, requests) -> list[int]:
+        """Channel indices a request stream lands on (for the sojourn
+        completion clock)."""
+        if isinstance(requests, RequestRun):
+            return [self.system.locate(requests.request.row)[0].index]
+        indices = {
+            self.system.locate(request.row)[0].index for request in requests
+        }
+        return sorted(indices) if indices else [0]
 
     def _victim_owner_slice(self) -> None:
         """The victim owner's privileged guard-row traffic -- the
@@ -362,6 +492,19 @@ class ServingSimulation:
     # ------------------------------------------------------------------
     # Payload
     # ------------------------------------------------------------------
+    def payload(self, live: dict | None = None) -> dict:
+        """The scenario payload of the (finished) run.
+
+        ``live`` attaches the live-frontend section (sojourn books,
+        shed tallies, pacing info) under the ``"live"`` key -- the one
+        key the replay-equivalence contract excludes from the
+        byte-identity comparison against closed-loop payloads.
+        """
+        result = self._payload()
+        if live is not None:
+            result["live"] = live
+        return result
+
     def _payload(self) -> dict:
         system = self.system
         config = self.config
@@ -389,7 +532,7 @@ class ServingSimulation:
                 post_attack_accuracy=post,
                 accuracy_unchanged=post == self.clean_accuracy,
             )
-        return {
+        payload = {
             "config": asdict(config),
             "sla": self.sla.report(
                 sim_seconds,
@@ -400,16 +543,24 @@ class ServingSimulation:
             "memory_stats": system.aggregate_stats(),
             "makespan_ns": system.makespan_ns,
         }
+        if self._scaler is not None:
+            payload["scaling"] = self._scaler.report()
+        return payload
 
 
 def run_serving(
     config: ServingConfig,
     *,
-    protected: bool = True,
+    protected: bool | None = None,
     defense_builder=None,
     model_victim=None,
 ) -> dict:
-    """Build and run one serving cell; returns the scenario payload."""
+    """Build and run one serving cell; returns the scenario payload.
+
+    A thin shim over :class:`ServingSimulation` kept for the harness's
+    existing call sites; the richer entry point is
+    :func:`repro.serving.serve`, which also understands traces,
+    admission control, and live pacing."""
     return ServingSimulation(
         config,
         protected=protected,

@@ -224,31 +224,55 @@ class ShardedMemorySystem:
             MemRequest(Kind.ACT, system_row, privileged=False), count
         )
 
-    def execute_stream(self, requests: Sequence[MemRequest], sink) -> None:
-        """Drain a mixed stream through the per-channel bulk engines.
+    def _batches(
+        self, requests: Sequence[MemRequest]
+    ) -> list[tuple[ChannelState, Sequence[MemRequest]]]:
+        """Translate a system-row stream into per-channel sub-batches.
 
-        Consecutive requests for one channel are forwarded as one
-        sub-stream (so same-row ACT runs keep their run-length
-        detection); a :class:`RequestRun` is routed whole.  Results
-        flow into ``sink`` via the controller sink protocol.
+        Consecutive requests for one channel become one sub-stream (so
+        same-row ACT runs keep their run-length detection); a
+        :class:`RequestRun` is routed whole.  Pure address arithmetic:
+        no device state is touched, which is what lets
+        :meth:`handoff_stream` run it on the ingestion thread.
         """
         if isinstance(requests, RequestRun):
             state, translated = self._translate(requests.request)
-            state.controller.execute_stream(
-                RequestRun(translated, len(requests)), sink
-            )
-            return
-        batch: list[MemRequest] = []
-        batch_state: ChannelState | None = None
+            return [(state, RequestRun(translated, len(requests)))]
+        batches: list[tuple[ChannelState, list[MemRequest]]] = []
         for request in requests:
             state, translated = self._translate(request)
-            if batch_state is not None and state is not batch_state:
-                batch_state.controller.execute_stream(batch, sink)
-                batch = []
-            batch_state = state
-            batch.append(translated)
-        if batch and batch_state is not None:
-            batch_state.controller.execute_stream(batch, sink)
+            if not batches or batches[-1][0] is not state:
+                batches.append((state, []))
+            batches[-1][1].append(translated)
+        return batches
+
+    def execute_stream(self, requests: Sequence[MemRequest], sink) -> None:
+        """Drain a mixed stream through the per-channel bulk engines.
+
+        Routing and sub-batching per :meth:`_batches`; results flow
+        into ``sink`` via the controller sink protocol.
+        """
+        for state, batch in self._batches(requests):
+            state.controller.execute_stream(batch, sink)
+
+    def handoff_stream(self, requests: Sequence[MemRequest], sink):
+        """Non-blocking hand-off: translate and batch *now*, execute
+        *later* -- returns a zero-argument thunk that performs the
+        deferred :meth:`execute_stream`.
+
+        The live frontend's ingestion thread calls this so address
+        translation and run-length batching happen off the executor;
+        only the returned thunk (run by whichever thread owns the
+        devices) touches device or sink state.
+        """
+        batches = self._batches(requests)
+
+        def execute() -> None:
+            """Run the prepared per-channel batches, in order."""
+            for state, batch in batches:
+                state.controller.execute_stream(batch, sink)
+
+        return execute
 
     def execute_summary(self, requests: Sequence[MemRequest]) -> RunSummary:
         """Summary-mode stream execution (one RunSummary, no
@@ -286,21 +310,7 @@ class ShardedMemorySystem:
         one atomic item on every involved channel, so its sub-batches
         run back to back in original order.
         """
-        if isinstance(requests, RequestRun):
-            state, translated = self._translate(requests.request)
-            run = RequestRun(translated, len(requests))
-            queue.submit(
-                (state.index,),
-                sink,
-                lambda: state.controller.execute_stream(run, sink),
-            )
-            return
-        batches: list[tuple[ChannelState, list[MemRequest]]] = []
-        for request in requests:
-            state, translated = self._translate(request)
-            if not batches or batches[-1][0] is not state:
-                batches.append((state, []))
-            batches[-1][1].append(translated)
+        batches = self._batches(requests)
         if not batches:
             return
         channels = tuple(dict.fromkeys(state.index for state, _ in batches))

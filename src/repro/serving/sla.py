@@ -18,11 +18,27 @@ Three pieces:
   latency percentiles, throughput against the simulated clock,
   exposure windows from the per-channel lockers) reduced to one
   serializable report.
+
+The live serving frontend (:mod:`repro.serving.live`) adds two more
+streams to the books, both absent from closed-loop runs so the
+replay-equivalence contract's payload comparison stays byte-identical:
+
+* **shed counts** -- per-tenant, per-reason tallies of admission-control
+  drops (:meth:`SLAAccountant.observe_shed`); they appear in the tenant
+  report only when nonzero.
+* **sojourn times** -- arrival-to-completion latency against the trace
+  clock (:meth:`SLAAccountant.observe_sojourn`): unlike the service
+  latencies above (which are load-independent DDR timing sums), sojourn
+  includes the backlog wait when a channel's clock runs ahead of the
+  arrivals, so it is the load-*dependent* tail the admission
+  controller defends.  Sojourn books are reported through
+  :meth:`SLAAccountant.live_report`, never the closed-loop report.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 
 from ..controller.controller import SummarySink
@@ -179,10 +195,18 @@ class _TenantBooks:
 
     sink: TenantSink = field(default_factory=TenantSink)
     ops: dict[str, int] = field(default_factory=dict)
+    shed: dict[str, int] = field(default_factory=dict)
+    sojourn: StreamingPercentiles = field(
+        default_factory=StreamingPercentiles
+    )
 
     def observe_op(self, kind: str) -> None:
         """Count one workload op of ``kind`` against this tenant."""
         self.ops[kind] = self.ops.get(kind, 0) + 1
+
+    def observe_shed(self, reason: str) -> None:
+        """Count one admission-control drop of this tenant's traffic."""
+        self.shed[reason] = self.shed.get(reason, 0) + 1
 
 
 class SLAAccountant:
@@ -191,6 +215,10 @@ class SLAAccountant:
     def __init__(self, percentiles: tuple[float, ...] = DEFAULT_PERCENTILES):
         self.percentiles = percentiles
         self._tenants: dict[str, _TenantBooks] = {}
+        # The live frontend's ingestion thread creates sinks while the
+        # executor thread folds results; only books *creation* mutates
+        # the tenant dict, so that is the one guarded section.
+        self._books_lock = threading.Lock()
 
     def sink(self, tenant: str) -> TenantSink:
         """The result sink accumulating ``tenant``'s stream."""
@@ -201,10 +229,42 @@ class SLAAccountant:
         hammer) against a tenant."""
         self._books(tenant).observe_op(kind)
 
+    def observe_shed(self, tenant: str, reason: str) -> None:
+        """Count one shed (admission-dropped) op against a tenant.
+
+        ``reason`` is the admission controller's verdict --
+        ``"throttled"`` (token bucket), ``"pressure"`` (SLA-pressure
+        shedding), or ``"queue-full"`` (bounded outstanding queue).
+        """
+        self._books(tenant).observe_shed(reason)
+
+    def observe_sojourn(self, tenant: str, sojourn_ns: float) -> None:
+        """Observe one op's arrival-to-completion time (trace clock)."""
+        self._books(tenant).sojourn.add(sojourn_ns)
+
+    def sojourn_p99_ns(self, tenant: str, min_samples: int = 1) -> float | None:
+        """The tenant's p99 sojourn, or ``None`` below ``min_samples``
+        observations (the admission controller's pressure signal)."""
+        books = self._tenants.get(tenant)
+        if books is None or books.sojourn.count < max(1, min_samples):
+            return None
+        return books.sojourn.percentile(99.0)
+
+    def shed_counts(self) -> dict[str, dict[str, int]]:
+        """Per-tenant shed tallies by reason (empty when nothing shed)."""
+        return {
+            name: dict(sorted(books.shed.items()))
+            for name, books in sorted(self._tenants.items())
+            if books.shed
+        }
+
     def _books(self, tenant: str) -> _TenantBooks:
         books = self._tenants.get(tenant)
         if books is None:
-            books = self._tenants[tenant] = _TenantBooks()
+            with self._books_lock:
+                books = self._tenants.get(tenant)
+                if books is None:
+                    books = self._tenants[tenant] = _TenantBooks()
         return books
 
     # ------------------------------------------------------------------
@@ -234,7 +294,37 @@ class SLAAccountant:
                 **latency.percentiles(self.percentiles),
                 "mean": latency.mean(),
             }
+        if books.shed:
+            # Only present when admission control actually dropped
+            # something, so closed-loop payloads are byte-identical to
+            # pre-admission ones.
+            report["shed"] = dict(sorted(books.shed.items()))
         return report
+
+    def live_report(self) -> dict:
+        """The live-frontend section: sojourn percentiles and shed
+        tallies, kept out of :meth:`report` so replayed payloads stay
+        byte-identical to closed-loop ones outside the ``"live"`` key.
+        """
+        tenants: dict[str, dict] = {}
+        for name in sorted(self._tenants):
+            books = self._tenants[name]
+            entry: dict = {}
+            if books.sojourn.count:
+                entry["sojourn_ns"] = {
+                    **books.sojourn.percentiles(self.percentiles),
+                    "mean": books.sojourn.mean(),
+                }
+            if books.shed:
+                entry["shed"] = dict(sorted(books.shed.items()))
+            if entry:
+                tenants[name] = entry
+        shed_total = sum(
+            count
+            for books in self._tenants.values()
+            for count in books.shed.values()
+        )
+        return {"tenants": tenants, "shed_total": shed_total}
 
     def report(
         self,
