@@ -30,11 +30,13 @@ import argparse
 from repro.eval.regression import (
     ATTACK_SEARCH_SCHEMA,
     DEFENDED_HAMMER_SCHEMA,
+    RUNTABLE_BENCH_SCHEMA,
     SERVING_LIVE_SCHEMA,
     SERVING_SCHEMA,
     compare_artifacts,
     compare_attack_search,
     compare_defended_hammer,
+    compare_runtable,
     compare_serving,
     compare_serving_live,
     load_artifact,
@@ -66,6 +68,10 @@ def main(argv: list[str] | None = None) -> int:
         )
     elif current.get("schema") == SERVING_LIVE_SCHEMA:
         report = compare_serving_live(current, baseline)
+    elif current.get("schema") == RUNTABLE_BENCH_SCHEMA:
+        report = compare_runtable(
+            current, baseline, overhead_tolerance=args.speedup_tolerance
+        )
     else:
         report = compare_artifacts(
             current,

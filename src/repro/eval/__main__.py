@@ -9,6 +9,8 @@ Usage::
     python -m repro.eval all            # everything cheap (no training)
     python -m repro.eval matrix --set smoke --out artifacts
                                         # parallel scenario harness
+    python -m repro.eval runtable --set demo --out artifacts --resume
+                                        # checkpointed factorial sweeps
 """
 
 from __future__ import annotations
@@ -99,6 +101,11 @@ def main(argv: list[str] | None = None) -> int:
         from .harness import main as harness_main
 
         return harness_main(argv[1:])
+    if argv and argv[0] == "runtable":
+        # Delegate to the checkpoint-resumable run-table CLI.
+        from .runtable import main as runtable_main
+
+        return runtable_main(argv[1:])
     parser = argparse.ArgumentParser(prog="python -m repro.eval")
     parser.add_argument(
         "experiment", help="which table/figure (or 'list'/'all'/'matrix')"

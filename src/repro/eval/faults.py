@@ -1,0 +1,203 @@
+"""Deterministic fault injection for fleet orchestration and serving.
+
+Fleet-scale sweeps only earn the name "fault-tolerant" when the faults
+are reproducible: a chaos run that crashes *some* worker *somewhere*
+cannot be replayed, compared against a baseline, or bisected.  This
+module therefore makes every fault a pure function of a seed and a
+cell name:
+
+* :class:`FaultSpec` -- one injected behaviour (``crash`` / ``hang`` /
+  ``slow`` for harness workers) with its attempt window;
+* :class:`FaultPlan` -- the seeded plan mapping scenario cells to
+  worker faults, either pinned by ``fnmatch`` pattern or drawn from
+  per-cell seeded rates (``derive_seed(f"fault:{name}", seed)``, so a
+  cell's draw never depends on the rest of the table);
+* :class:`ChannelFault` -- a serving-side fault (``fail`` / ``stall``
+  of one channel at a given time slice) consumed by
+  :class:`~repro.serving.engine.ServingSimulation` and honoured by the
+  replay and live paths identically.
+
+The contract the tests pin (``tests/test_faults.py``): the same plan
+against the same table always injects the same faults, a crashed
+worker's cell is retried and its siblings complete, a persistent fault
+quarantines into a deterministic structured error, and a serving run
+with an injected channel fault still conserves ``offered == served +
+shed`` with every un-servable op booked under the ``"channel_fault"``
+shed reason.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..seeds import derive_seed
+
+__all__ = [
+    "WORKER_FAULT_KINDS",
+    "CHANNEL_FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "ChannelFault",
+]
+
+#: Worker-side fault kinds a :class:`FaultPlan` can inject.
+WORKER_FAULT_KINDS = ("crash", "hang", "slow")
+
+#: Serving-side fault kinds a :class:`ChannelFault` can inject.
+CHANNEL_FAULT_KINDS = ("fail", "stall")
+
+#: The exit status a crash fault dies with (``os._exit`` -- no cleanup,
+#: no exception, the closest a test can get to an OOM kill).
+CRASH_EXIT_CODE = 23
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One worker fault: what happens, for how many attempts.
+
+    Attributes:
+        kind: ``"crash"`` (``os._exit``, simulating an OOM-killed
+            worker), ``"hang"`` (sleep far past any timeout), or
+            ``"slow"`` (sleep ``delay_s`` then run normally).
+        until_attempt: Inject while the cell's attempt index is below
+            this bound -- ``1`` faults only the first attempt (the
+            recoverable case), a large value faults every attempt (the
+            quarantine case).
+        delay_s: Sleep duration for ``slow`` and ``hang``.
+    """
+
+    kind: str
+    until_attempt: int = 1
+    delay_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKER_FAULT_KINDS:
+            raise ValueError(
+                f"unknown worker fault kind {self.kind!r}; "
+                f"expected one of {WORKER_FAULT_KINDS}"
+            )
+        if self.until_attempt < 1:
+            raise ValueError("until_attempt must be >= 1")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class ChannelFault:
+    """One serving-channel fault, activated at a slice boundary.
+
+    Attributes:
+        channel: Index of the channel to fault.
+        kind: ``"fail"`` (the channel stops serving: every op that
+            would land on it is shed with reason ``"channel_fault"``,
+            unless the channel scaler can spill it to a replica) or
+            ``"stall"`` (a one-shot brownout: the channel's clock jumps
+            ``stall_ns`` forward, inflating every later op's sojourn).
+        at_slice: The fault activates at the boundary closing this
+            slice index; ops of earlier slices are untouched.
+        stall_ns: Clock jump for ``"stall"``.
+    """
+
+    channel: int
+    kind: str = "fail"
+    at_slice: int = 0
+    stall_ns: float = 5e7
+
+    def __post_init__(self) -> None:
+        if self.channel < 0:
+            raise ValueError("channel must be >= 0")
+        if self.kind not in CHANNEL_FAULT_KINDS:
+            raise ValueError(
+                f"unknown channel fault kind {self.kind!r}; "
+                f"expected one of {CHANNEL_FAULT_KINDS}"
+            )
+        if self.at_slice < 0:
+            raise ValueError("at_slice must be >= 0")
+        if self.stall_ns <= 0:
+            raise ValueError("stall_ns must be positive")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic assignment of worker faults to cells.
+
+    Two selection mechanisms compose (pinned wins):
+
+    * **pinned cells** -- ``cells`` maps ``fnmatch`` patterns to
+      :class:`FaultSpec`; the first matching pattern decides.
+    * **seeded rates** -- each cell draws once from
+      ``derive_seed(f"fault:{name}", seed)`` and the draw lands in the
+      cumulative ``crash_rate`` / ``hang_rate`` / ``slow_rate`` bands.
+      Rate-selected faults use ``until_attempt`` / ``slow_s`` /
+      ``hang_s`` from the plan.
+
+    Both are pure functions of ``(name, seed)``: the same plan against
+    the same table injects the same faults regardless of worker count,
+    execution order, or resumption.
+    """
+
+    seed: int = 0
+    cells: tuple[tuple[str, FaultSpec], ...] = ()
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    slow_rate: float = 0.0
+    until_attempt: int = 1
+    slow_s: float = 0.05
+    hang_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        total = self.crash_rate + self.hang_rate + self.slow_rate
+        if not 0.0 <= total <= 1.0:
+            raise ValueError("fault rates must sum to within [0, 1]")
+
+    def worker_fault(self, name: str, attempt: int = 0) -> FaultSpec | None:
+        """The fault (if any) this plan injects into ``name`` on its
+        ``attempt``-th try; ``None`` means run clean."""
+        spec = self._select(name)
+        if spec is None or attempt >= spec.until_attempt:
+            return None
+        return spec
+
+    def _select(self, name: str) -> FaultSpec | None:
+        for pattern, spec in self.cells:
+            if fnmatch.fnmatchcase(name, pattern):
+                return spec
+        if self.crash_rate or self.hang_rate or self.slow_rate:
+            rng = np.random.default_rng(
+                derive_seed(f"fault:{name}", self.seed)
+            )
+            draw = rng.random()
+            if draw < self.crash_rate:
+                return FaultSpec("crash", until_attempt=self.until_attempt)
+            if draw < self.crash_rate + self.hang_rate:
+                return FaultSpec(
+                    "hang",
+                    until_attempt=self.until_attempt,
+                    delay_s=self.hang_s,
+                )
+            if draw < self.crash_rate + self.hang_rate + self.slow_rate:
+                return FaultSpec(
+                    "slow",
+                    until_attempt=self.until_attempt,
+                    delay_s=self.slow_s,
+                )
+        return None
+
+    def inject(self, name: str, attempt: int = 0) -> None:
+        """Perform the planned fault in the current (worker) process.
+
+        ``crash`` never returns (``os._exit``); ``hang`` and ``slow``
+        sleep; a clean cell returns immediately.  Run this only inside
+        a worker process -- a crash fault would take the caller down.
+        """
+        spec = self.worker_fault(name, attempt)
+        if spec is None:
+            return
+        if spec.kind == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        time.sleep(spec.delay_s)

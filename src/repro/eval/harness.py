@@ -28,6 +28,7 @@ from __future__ import annotations
 import argparse
 import atexit
 import cProfile
+import itertools
 import json
 import multiprocessing
 import os
@@ -53,6 +54,7 @@ from ..dram.device import DRAMDevice
 from ..dram.vulnerability import VulnerabilityMap
 from ..locker.locker import DRAMLocker, LockerConfig
 from ..seeds import derive_seed
+from .faults import FaultPlan
 from .experiments import (
     Scale,
     run_attack_scenario,
@@ -80,6 +82,8 @@ __all__ = [
     "derive_seed",
     "run_scenario",
     "run_matrix",
+    "scenario_result_payload",
+    "SupervisorConfig",
     "attack_prewarm",
     "shutdown_worker_pool",
     "attack_scenarios",
@@ -133,7 +137,15 @@ class Scenario:
 
 @dataclass
 class ScenarioResult:
-    """Outcome of one scenario execution."""
+    """Outcome of one scenario execution.
+
+    ``attempts`` and ``quarantined`` are set only by the supervised
+    parallel path: ``attempts`` lists the counted failure outcomes
+    (``"worker-lost"``, ``"timeout"``, ``"error"``) that preceded this
+    result, and ``quarantined=True`` marks a cell that exhausted its
+    retry budget and was isolated as a structured error instead of
+    poisoning the matrix.
+    """
 
     name: str
     runner: str
@@ -141,6 +153,8 @@ class ScenarioResult:
     wall_clock_s: float
     payload: dict | None = None
     error: str | None = None
+    attempts: tuple[str, ...] = ()
+    quarantined: bool = False
 
     @property
     def ok(self) -> bool:
@@ -177,6 +191,11 @@ class MatrixResult:
     pool_startup_s: float = 0.0
     #: Time spent in the parent-side ``prewarm`` hook, if any.
     prewarm_s: float = 0.0
+    #: Supervisor attempt log: name -> failure outcomes observed before
+    #: the cell's final result ("worker-lost" / "timeout" / "error" /
+    #: "aborted").  Timing-section material: which cells needed retries
+    #: is infrastructure history, not part of the deterministic results.
+    attempt_log: dict[str, list[str]] = field(default_factory=dict)
 
     def __getitem__(self, name: str) -> ScenarioResult:
         for result in self.results:
@@ -206,9 +225,7 @@ class MatrixResult:
                 for scenario in self.scenarios
             ],
             "results": {
-                result.name: (
-                    result.payload if result.ok else {"error": result.error}
-                )
+                result.name: scenario_result_payload(result)
                 for result in self.results
             },
             "timing": {
@@ -220,6 +237,9 @@ class MatrixResult:
                     result.name: result.wall_clock_s
                     for result in self.results
                 },
+                **(
+                    {"attempts": self.attempt_log} if self.attempt_log else {}
+                ),
             },
         }
 
@@ -242,6 +262,20 @@ class MatrixResult:
             handle.write("\n")
         self.artifact_path = path
         return path
+
+
+def scenario_result_payload(result: ScenarioResult) -> dict | None:
+    """One result's entry in the artifact's ``results`` section -- the
+    deterministic form shared by :meth:`MatrixResult.as_artifact` and
+    the run-table checkpoint journal, so a journaled cell merges back
+    bit-identical to an uninterrupted artifact."""
+    if result.ok:
+        return result.payload
+    return {
+        "error": result.error,
+        **({"attempts": list(result.attempts)} if result.attempts else {}),
+        **({"quarantined": True} if result.quarantined else {}),
+    }
 
 
 #: Tags become BENCH_<tag>.json filenames; keep them path-safe.
@@ -445,6 +479,12 @@ def _run_serving(
     victim: str = "bits",
     arch: str = "resnet20",
     engine: str = "bulk",
+    fault_channel: int = -1,
+    fault_kind: str = "fail",
+    fault_slice: int = 0,
+    fault_stall_ns: float = 5e7,
+    scaling_channels: int = 0,
+    scaling_p99_target_ns: float = 1e6,
 ) -> dict:
     """One serving cell: multi-tenant traffic on a sharded system.
 
@@ -454,8 +494,16 @@ def _run_serving(
     ``victim="model"`` a trained quick-scale victim (shared through the
     victim cache) resides on channel 0 and its accuracy is measured
     before/after the co-located campaign.
+
+    ``fault_channel >= 0`` injects a deterministic
+    :class:`~repro.eval.faults.ChannelFault` (``fault_kind`` fail or
+    stall, activating at the boundary closing ``fault_slice``); the
+    payload then carries a ``"fault"`` section with the conservation
+    tally.  ``scaling_channels > 0`` pre-builds that many total
+    channels and lets the channel scaler spill hot (or failed-over)
+    tenants onto the spares -- block policy only.
     """
-    from ..serving import ServingConfig, run_serving
+    from ..serving import ScalingConfig, ServingConfig, run_serving
 
     protected, builder = resolve_serving_defense(defense)
     model_victim = None
@@ -475,12 +523,31 @@ def _run_serving(
         policy=policy,
         engine=engine,
         seed=seed,
+        scaling=(
+            ScalingConfig(
+                max_channels=scaling_channels,
+                p99_target_ns=scaling_p99_target_ns,
+            )
+            if scaling_channels
+            else None
+        ),
     )
+    fault = None
+    if fault_channel >= 0:
+        from .faults import ChannelFault
+
+        fault = ChannelFault(
+            channel=fault_channel,
+            kind=fault_kind,
+            at_slice=fault_slice,
+            stall_ns=fault_stall_ns,
+        )
     payload = run_serving(
         config,
         protected=protected,
         defense_builder=builder,
         model_victim=model_victim,
+        fault=fault,
     )
     payload["defense"] = defense
     return payload
@@ -686,8 +753,20 @@ def run_scenario(
     )
 
 
-def _scenario_worker(job: tuple[Scenario, int, str | None]) -> ScenarioResult:
-    scenario, base_seed, profile_dir = job
+def _scenario_worker(
+    job: tuple[int, int, Scenario, int, str | None, int, Any],
+) -> ScenarioResult:
+    epoch, index, scenario, base_seed, profile_dir, attempt, faults = job
+    if _WORKER_EVENTS is not None:
+        try:
+            # Announce (dispatch epoch, cell, attempt, pid) before any
+            # real work: the supervisor uses this to attribute a worker
+            # death to the cell it was running.
+            _WORKER_EVENTS.put((epoch, index, attempt, os.getpid()))
+        except Exception:  # noqa: BLE001 - announcements are best-effort
+            pass
+    if faults is not None:
+        faults.inject(scenario.name, attempt)
     return run_scenario(scenario, base_seed, profile_dir=profile_dir)
 
 
@@ -710,9 +789,18 @@ _POOL_STATE: dict[str, Any] = {
     "processes": 0,
     "generation": -1,
     "segments": [],
+    "events": None,
 }
 
 _ATTACHED_SEGMENTS: list = []  # worker-side references, kept alive
+
+#: Worker-side start-event queue, set by the pool initializer.
+_WORKER_EVENTS: Any = None
+
+#: Monotonic dispatch-epoch counter: one epoch per supervised matrix,
+#: so stale start events from an earlier matrix on the same persistent
+#: pool can never be attributed to a new in-flight cell.
+_DISPATCH_EPOCHS = itertools.count()
 
 
 def _shareable_generation() -> int:
@@ -779,13 +867,52 @@ def _attach_shared_victims(manifest: list, unregister: bool = True) -> None:
         memory_cache_put(directory, key, arrays)
 
 
-def shutdown_worker_pool() -> None:
-    """Terminate the persistent pool and release its shared memory.
-    Registered atexit; callers only need it to force a fresh pool."""
+def _pool_initializer(events: Any, manifest: list | None) -> None:
+    """Worker initializer: install the start-event queue and, under
+    spawn, attach the parent's shared-memory victim cache."""
+    global _WORKER_EVENTS
+    _WORKER_EVENTS = events
+    if manifest is not None:
+        _attach_shared_victims(manifest)
+
+
+def _pool_pids(pool: Any) -> set[int]:
+    """Live worker pids; empty for pool doubles without ``_pool``
+    (which simply disables death detection for them)."""
+    workers = getattr(pool, "_pool", None) or []
+    return {proc.pid for proc in workers if proc.pid is not None}
+
+
+def shutdown_worker_pool(force: bool = False) -> None:
+    """Retire the persistent pool and release its shared memory.
+
+    The healthy path (``force=False``) closes the pool and joins its
+    workers, letting them exit cleanly; ``force=True`` terminates them
+    -- for poisoned/hung pools and for process exit, where joining a
+    wedged worker would hang forever.  Shared-memory segments are
+    unlinked on both paths, including segments registered by a pool
+    creation that failed partway (``pool`` is ``None`` but ``segments``
+    is not empty).
+    """
     pool = _POOL_STATE["pool"]
     if pool is not None:
-        pool.terminate()
+        # A supervised matrix that lost workers leaves the crashed
+        # attempts' apply_async entries in the pool's result cache;
+        # close()+join() would then block forever in _handle_results
+        # waiting for results no worker will ever produce.
+        if getattr(pool, "_cache", None):
+            force = True
+        if force:
+            pool.terminate()
+        else:
+            pool.close()
         pool.join()
+    events = _POOL_STATE.get("events")
+    if events is not None:
+        try:
+            events.close()
+        except Exception:  # noqa: BLE001 - queue teardown is best-effort
+            pass
     for segment in _POOL_STATE["segments"]:
         try:
             segment.close()
@@ -793,11 +920,16 @@ def shutdown_worker_pool() -> None:
         except OSError:
             pass
     _POOL_STATE.update(
-        pool=None, method=None, processes=0, generation=-1, segments=[]
+        pool=None,
+        method=None,
+        processes=0,
+        generation=-1,
+        segments=[],
+        events=None,
     )
 
 
-atexit.register(shutdown_worker_pool)
+atexit.register(shutdown_worker_pool, True)
 
 
 def _acquire_pool(processes: int) -> tuple[Any, float]:
@@ -814,28 +946,315 @@ def _acquire_pool(processes: int) -> tuple[Any, float]:
         and state["generation"] == generation
     ):
         return state["pool"], 0.0
-    shutdown_worker_pool()
+    shutdown_worker_pool(force=True)
     context = multiprocessing.get_context(method)
     started = time.perf_counter()
+    # SimpleQueue, not Queue: its put() writes the pipe synchronously,
+    # so a worker's start announcement is durable even when the worker
+    # dies (os._exit) immediately afterwards -- Queue's feeder thread
+    # would race the crash and could drop the event.
+    events = context.SimpleQueue()
     if method == "fork":
-        pool = context.Pool(processes=processes)
+        manifest: list | None = None
         segments: list = []
     else:
         manifest, segments = _export_shared_victims()
-        pool = context.Pool(
-            processes=processes,
-            initializer=_attach_shared_victims,
-            initargs=(manifest,),
-        )
+    # Segments and the event queue are registered *before* Pool() so a
+    # creation failure still has them released by shutdown_worker_pool
+    # instead of leaking kernel-backed shared memory.
+    state.update(
+        pool=None,
+        method=None,
+        processes=0,
+        generation=-1,
+        segments=segments,
+        events=events,
+    )
+    pool = context.Pool(
+        processes=processes,
+        initializer=_pool_initializer,
+        initargs=(events, manifest),
+    )
     startup = time.perf_counter() - started
     state.update(
         pool=pool,
         method=method,
         processes=processes,
         generation=generation,
-        segments=segments,
     )
     return pool, startup
+
+
+# ----------------------------------------------------------------------
+# Worker supervision
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Policy knobs for the supervised parallel dispatcher.
+
+    Attributes:
+        timeout_s: Per-attempt wall-clock deadline measured from
+            dispatch.  A cell past its deadline is declared hung; the
+            only way to reclaim a hung worker is to tear the pool down,
+            so the pool is rebuilt and collateral in-flight cells are
+            requeued without spending a retry.  ``None`` disables
+            deadlines (a truly hung worker then blocks forever, as the
+            old ``pool.map`` did).
+        retries: How many *additional* attempts a cell gets after a
+            counted failure (worker death, timeout, or -- with
+            ``retry_errors`` -- an in-worker exception).  A cell that
+            fails ``retries + 1`` times is quarantined.
+        backoff_base_s: Base of the seeded exponential backoff between
+            a cell's attempts; attempt ``k`` waits
+            ``backoff_base_s * 2**(k-1) * (0.5 + u)`` with ``u`` drawn
+            from ``derive_seed(f"retry:{name}", base_seed)``.
+        poll_interval_s: Supervisor loop cadence.
+        retry_errors: Also retry cells whose runner raised.  Off by
+            default: a deterministic runner exception will raise again,
+            and the structured error result is the useful artifact.
+    """
+
+    timeout_s: float | None = None
+    retries: int = 2
+    backoff_base_s: float = 0.05
+    poll_interval_s: float = 0.02
+    retry_errors: bool = False
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if self.poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+
+
+@dataclass
+class _Flight:
+    """One in-flight cell attempt."""
+
+    handle: Any
+    attempt: int
+    dispatched_at: float
+    deadline: float | None
+    pid: int | None = None
+
+
+def _supervised_map(
+    scenarios: list[Scenario],
+    base_seed: int,
+    profile_dir: str | None,
+    processes: int,
+    config: SupervisorConfig,
+    faults: FaultPlan | None,
+    on_result: Callable[[ScenarioResult], None] | None,
+) -> tuple[list[ScenarioResult], float, dict[str, list[str]]]:
+    """Async dispatch with timeouts, bounded retries, and quarantine.
+
+    Replaces the blocking ``pool.map``: cells are dispatched with
+    ``apply_async`` (at most ``processes`` in flight, so per-attempt
+    deadlines measured from dispatch are meaningful), worker deaths are
+    attributed to the cell the worker announced via the start-event
+    queue, and a persistently failing or hung cell becomes a structured
+    quarantined :class:`ScenarioResult` instead of poisoning the pool.
+    Returns ``(results, pool_startup_s, attempt_log)``; results keep
+    scenario order regardless of completion order.
+    """
+    pool, startup_s = _acquire_pool(processes)
+    events = _POOL_STATE.get("events")
+    epoch = next(_DISPATCH_EPOCHS)
+    total = len(scenarios)
+    results: list[ScenarioResult | None] = [None] * total
+    attempt_log: dict[str, list[str]] = {}
+    failures = [0] * total
+    backoff_rngs: dict[int, np.random.Generator] = {}
+    pending: list[tuple[int, float]] = [(index, 0.0) for index in range(total)]
+    inflight: dict[int, _Flight] = {}
+    known_pids = _pool_pids(pool)
+    # Every worker pid ever seen dead this matrix.  The instantaneous
+    # known-vs-current diff alone loses a death that becomes visible
+    # before the victim's start announcement has been drained: the pid
+    # leaves the diff on the tick it is consumed, and the cell it was
+    # running would sit unattributed until the timeout backstop.
+    lost_pids: set[int] = set()
+
+    def finalize(index: int, result: ScenarioResult) -> None:
+        results[index] = result
+        if on_result is not None:
+            on_result(result)
+
+    def counted_outcomes(index: int) -> list[str]:
+        return [
+            outcome
+            for outcome in attempt_log.get(scenarios[index].name, [])
+            if outcome != "aborted"
+        ]
+
+    def backoff_delay(index: int) -> float:
+        rng = backoff_rngs.get(index)
+        if rng is None:
+            rng = backoff_rngs[index] = np.random.default_rng(
+                derive_seed(f"retry:{scenarios[index].name}", base_seed)
+            )
+        exponent = max(0, failures[index] - 1)
+        return config.backoff_base_s * (2**exponent) * (0.5 + rng.random())
+
+    def quarantine(index: int, elapsed_s: float) -> None:
+        scenario = scenarios[index]
+        outcomes = counted_outcomes(index)
+        finalize(
+            index,
+            ScenarioResult(
+                scenario.name,
+                scenario.runner,
+                scenario.resolved_seed(base_seed),
+                elapsed_s,
+                error=(
+                    f"quarantined after {len(outcomes)} attempt(s); "
+                    f"outcomes: {', '.join(outcomes)}"
+                ),
+                attempts=tuple(outcomes),
+                quarantined=True,
+            ),
+        )
+
+    def fail_or_retry(
+        index: int, flight: _Flight, outcome: str, counted: bool = True
+    ) -> None:
+        attempt_log.setdefault(scenarios[index].name, []).append(outcome)
+        if counted:
+            failures[index] += 1
+            if failures[index] > config.retries:
+                quarantine(index, time.monotonic() - flight.dispatched_at)
+                return
+            delay = backoff_delay(index)
+        else:
+            delay = 0.0
+        pending.append((index, time.monotonic() + delay))
+
+    while pending or inflight:
+        now = time.monotonic()
+        if pending and len(inflight) < processes:
+            still_pending: list[tuple[int, float]] = []
+            for index, not_before in sorted(pending, key=lambda p: p[1]):
+                if not_before > now or len(inflight) >= processes:
+                    still_pending.append((index, not_before))
+                    continue
+                job = (
+                    epoch,
+                    index,
+                    scenarios[index],
+                    base_seed,
+                    profile_dir,
+                    failures[index],
+                    faults,
+                )
+                handle = pool.apply_async(_scenario_worker, (job,))
+                dispatched = time.monotonic()
+                inflight[index] = _Flight(
+                    handle,
+                    failures[index],
+                    dispatched,
+                    (
+                        dispatched + config.timeout_s
+                        if config.timeout_s is not None
+                        else None
+                    ),
+                )
+            pending = still_pending
+        if events is not None:
+            try:
+                # Single reader: empty() going momentarily stale only
+                # delays an event to the next poll tick.
+                while not events.empty():
+                    event_epoch, index, attempt, pid = events.get()
+                    flight = inflight.get(index)
+                    if (
+                        event_epoch == epoch
+                        and flight is not None
+                        and flight.attempt == attempt
+                    ):
+                        flight.pid = pid
+                        if pid in lost_pids and not flight.handle.ready():
+                            # Late announcement from a worker whose
+                            # death was already observed.
+                            del inflight[index]
+                            fail_or_retry(index, flight, "worker-lost")
+            except OSError:
+                pass
+        for index in list(inflight):
+            flight = inflight[index]
+            if not flight.handle.ready():
+                continue
+            del inflight[index]
+            try:
+                result = flight.handle.get()
+            except Exception as exc:  # noqa: BLE001 - dispatch-layer failure
+                fail_or_retry(
+                    index, flight, f"error: {type(exc).__name__}: {exc}"
+                )
+                continue
+            if result.error is not None and config.retry_errors:
+                attempt_log.setdefault(scenarios[index].name, []).append(
+                    "error"
+                )
+                failures[index] += 1
+                if failures[index] > config.retries:
+                    finalize(
+                        index,
+                        replace(
+                            result,
+                            attempts=tuple(counted_outcomes(index)),
+                            quarantined=True,
+                        ),
+                    )
+                else:
+                    pending.append(
+                        (index, time.monotonic() + backoff_delay(index))
+                    )
+                continue
+            finalize(index, result)
+        current_pids = _pool_pids(pool)
+        dead_pids = known_pids - current_pids
+        known_pids = current_pids
+        if dead_pids:
+            lost_pids |= dead_pids
+            for index in list(inflight):
+                flight = inflight[index]
+                if flight.pid in lost_pids and not flight.handle.ready():
+                    del inflight[index]
+                    fail_or_retry(index, flight, "worker-lost")
+        if config.timeout_s is not None and inflight:
+            now = time.monotonic()
+            hung = [
+                index
+                for index, flight in inflight.items()
+                if flight.deadline is not None and now > flight.deadline
+            ]
+            if hung:
+                for index in hung:
+                    fail_or_retry(index, inflight.pop(index), "timeout")
+                # A hung worker cannot be reclaimed individually: tear
+                # the whole pool down and requeue the collateral cells
+                # without charging them an attempt.
+                for index in list(inflight):
+                    fail_or_retry(
+                        index, inflight.pop(index), "aborted", counted=False
+                    )
+                shutdown_worker_pool(force=True)
+                pool, rebuild_s = _acquire_pool(processes)
+                startup_s += rebuild_s
+                events = _POOL_STATE.get("events")
+                known_pids = _pool_pids(pool)
+                # The fresh pool may reuse a retired pid.
+                lost_pids -= known_pids
+        if pending or inflight:
+            time.sleep(config.poll_interval_s)
+    final = [result for result in results if result is not None]
+    assert len(final) == total  # every cell finalized exactly once
+    return final, startup_s, attempt_log
 
 
 def attack_prewarm(
@@ -863,6 +1282,9 @@ def run_matrix(
     strict: bool = False,
     profile_dir: str | None = None,
     prewarm: Callable[[], None] | None = None,
+    supervise: SupervisorConfig | None = None,
+    faults: FaultPlan | None = None,
+    on_result: Callable[[ScenarioResult], None] | None = None,
 ) -> MatrixResult:
     """Run a scenario matrix, optionally in parallel, and collect one
     :class:`MatrixResult`.
@@ -888,6 +1310,16 @@ def run_matrix(
     written when any scenario errored -- for callers (benchmark
     recorders, CI steps) where a half-failed matrix must not pass
     silently as a recorded artifact.
+
+    The parallel path is supervised (see :class:`SupervisorConfig`):
+    per-attempt timeouts, bounded seeded-backoff retries, and
+    quarantine of persistently failing cells -- one dead or hung
+    worker costs that cell its attempt, not the whole matrix.
+    ``faults`` injects a deterministic :class:`~repro.eval.faults.FaultPlan`
+    into workers (ignored on the serial path: a crash fault would take
+    the parent down).  ``on_result`` is called in the parent with every
+    finalized :class:`ScenarioResult` as it completes -- the checkpoint
+    hook run-tables journal through.
     """
     scenarios = list(scenarios)
     names = [scenario.name for scenario in scenarios]
@@ -902,22 +1334,31 @@ def run_matrix(
         prewarm()
         prewarm_s = time.perf_counter() - prewarm_started
     pool_startup_s = 0.0
+    attempt_log: dict[str, list[str]] = {}
     if workers <= 1 or len(scenarios) <= 1:
         workers = 1
-        results = [
-            run_scenario(scenario, base_seed, profile_dir=profile_dir)
-            for scenario in scenarios
-        ]
+        results = []
+        for scenario in scenarios:
+            result = run_scenario(scenario, base_seed, profile_dir=profile_dir)
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
     else:
-        pool, pool_startup_s = _acquire_pool(workers)
-        jobs = [(scenario, base_seed, profile_dir) for scenario in scenarios]
         try:
-            results = pool.map(_scenario_worker, jobs)
+            results, pool_startup_s, attempt_log = _supervised_map(
+                scenarios,
+                base_seed,
+                profile_dir,
+                workers,
+                supervise or SupervisorConfig(),
+                faults,
+                on_result,
+            )
         except BaseException:
-            # A dead worker (OOM kill, unpicklable result) poisons the
-            # pool; drop it so the next matrix starts fresh instead of
-            # reusing a broken pool for the rest of the process.
-            shutdown_worker_pool()
+            # A poisoned dispatch layer (unpicklable job, broken pool
+            # double) is unrecoverable here; drop the pool so the next
+            # matrix starts fresh instead of reusing a broken one.
+            shutdown_worker_pool(force=True)
             raise
     matrix = MatrixResult(
         tag=tag,
@@ -928,6 +1369,7 @@ def run_matrix(
         scenarios=scenarios,
         pool_startup_s=pool_startup_s,
         prewarm_s=prewarm_s,
+        attempt_log=attempt_log,
     )
     if artifact_dir is not None:
         matrix.write_artifact(artifact_dir)

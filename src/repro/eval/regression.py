@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 __all__ = [
     "ATTACK_SEARCH_SCHEMA",
     "DEFENDED_HAMMER_SCHEMA",
+    "RUNTABLE_BENCH_SCHEMA",
     "SERVING_LIVE_SCHEMA",
     "SERVING_SCHEMA",
     "RegressionReport",
@@ -30,6 +31,7 @@ __all__ = [
     "compare_artifacts",
     "compare_attack_search",
     "compare_defended_hammer",
+    "compare_runtable",
     "compare_serving",
     "compare_serving_live",
     "load_artifact",
@@ -52,6 +54,10 @@ SERVING_SCHEMA = "dram-locker-serving-bench/1"
 #: Schema tag of the live-frontend serving benchmark artifact
 #: (``benchmarks/bench_serving_live.py``).
 SERVING_LIVE_SCHEMA = "dram-locker-serving-live-bench/1"
+
+#: Schema tag of the run-table orchestration benchmark artifact
+#: (``benchmarks/bench_runtable.py``).
+RUNTABLE_BENCH_SCHEMA = "dram-locker-runtable-bench/1"
 
 
 def load_artifact(path: str) -> dict:
@@ -470,6 +476,107 @@ def compare_defended_hammer(
             f"{base_cell['speedup']:.2f}x (floor {floor:.2f}x)"
         )
         if cell["speedup"] < floor:
+            report.violations.append(check)
+        else:
+            report.checks.append(check)
+    return report
+
+
+def compare_runtable(
+    current: dict,
+    baseline: dict,
+    overhead_tolerance: float = 0.25,
+) -> RegressionReport:
+    """Regression gate for the run-table orchestration artifact.
+
+    The fleet properties the orchestration layer exists to provide are
+    all deterministic, so most of the gate is exact:
+
+    * **Checkpoint transparency**: the checkpointed table's results
+      must be bit-identical to a plain ``run_matrix`` sweep of the
+      same cells (``results_identical``) -- journalling must never
+      change what is computed.
+    * **Crash recovery**: the subprocess SIGKILLed mid-sweep and
+      resumed with ``--resume`` must emit a results section
+      bit-identical to the uninterrupted run (``resume_identical``),
+      and must actually have resumed from a non-empty journal.
+    * **Fault containment**: the chaos table must quarantine exactly
+      its always-crashing cells (count pinned to the baseline's),
+      recover its crash-once cells, and its channel-fault cell must
+      conserve ``offered == served + shed`` with zero victim flips
+      under DRAM-Locker.
+    * **Checkpoint overhead**: the journalled run's wall-clock
+      overhead *ratio* over the plain sweep -- which transfers across
+      runner classes, unlike wall seconds -- must not exceed the
+      baseline's by more than ``overhead_tolerance``.
+    """
+    report = RegressionReport()
+
+    checkpoint = current.get("checkpoint", {})
+    if checkpoint.get("results_identical"):
+        report.checks.append(
+            "checkpoint: journalled results identical to plain run_matrix"
+        )
+    else:
+        report.violations.append(
+            "checkpoint: journalled results diverged from plain run_matrix"
+        )
+
+    recovery = current.get("recovery", {})
+    if recovery.get("resume_identical"):
+        report.checks.append(
+            f"recovery: SIGKILL at {recovery.get('journal_lines_at_kill')} "
+            "journal line(s) + --resume is bit-identical"
+        )
+    else:
+        report.violations.append(
+            "recovery: resumed artifact diverged from uninterrupted run"
+        )
+    if not recovery.get("journal_lines_at_kill", 0):
+        report.violations.append(
+            "recovery: victim run was killed before journalling any cell "
+            "(resume path not exercised)"
+        )
+
+    chaos = current.get("chaos", {})
+    base_chaos = baseline.get("chaos", {})
+    for key in ("quarantined", "errors", "recovered"):
+        if key not in base_chaos:
+            continue
+        check = (
+            f"chaos: {key} {chaos.get(key)} == baseline {base_chaos[key]}"
+        )
+        if chaos.get(key) != base_chaos[key]:
+            report.violations.append(check)
+        else:
+            report.checks.append(check)
+    fault = chaos.get("channel_fault")
+    if fault is None:
+        if base_chaos.get("channel_fault") is not None:
+            report.violations.append(
+                "chaos: channel-fault cell missing from current artifact"
+            )
+    else:
+        check = (
+            f"chaos: channel fault conserved offered="
+            f"{fault.get('offered_ops')} == served={fault.get('served_ops')}"
+            f" + shed={fault.get('shed_ops')} with "
+            f"{fault.get('victim_flip_events')} victim flip(s)"
+        )
+        if fault.get("conserved") and not fault.get("victim_flip_events"):
+            report.checks.append(check)
+        else:
+            report.violations.append(check)
+
+    overhead = checkpoint.get("overhead_ratio")
+    base_overhead = baseline.get("checkpoint", {}).get("overhead_ratio")
+    if overhead is not None and base_overhead is not None:
+        ceiling = base_overhead * (1.0 + overhead_tolerance)
+        check = (
+            f"checkpoint: overhead {overhead:.2f}x vs baseline "
+            f"{base_overhead:.2f}x (ceiling {ceiling:.2f}x)"
+        )
+        if overhead > ceiling:
             report.violations.append(check)
         else:
             report.checks.append(check)

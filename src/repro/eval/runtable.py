@@ -1,0 +1,529 @@
+"""Checkpoint-resumable factorial run-tables over :func:`run_matrix`.
+
+The fleet layer the bake-off sweeps need: a :class:`RunTableSpec` names
+a factorial experiment (runner x axes x replicates), expands it into a
+deterministic cell list, and executes it through the supervised matrix
+with three fleet properties layered on top:
+
+* **Checkpointing** -- every finished cell is appended to a crash-safe
+  jsonl journal (one fsync'd line per cell) the moment its result
+  exists.  ``resume=True`` skips journaled cells, and because the
+  merged artifact is rebuilt from journal records in deterministic
+  cell order, a table killed with SIGKILL mid-sweep and resumed emits
+  a ``results`` section bit-identical to an uninterrupted run.
+* **Replicate seeds** -- every cell's name encodes its factor levels
+  and replicate index, and its seed is ``derive_seed(name, base_seed)``
+  (cells pass ``seed=None`` to the harness), so replicates are
+  independent and no cell's seed depends on the table around it.
+* **Sharding** -- ``shard=(i, n)`` deterministically assigns cells
+  ``i, i+n, i+2n, ...`` of the full ordering to this process; shards
+  journal into shard-suffixed files, so machines can sweep disjoint
+  slices of one table concurrently and artifacts merge trivially.
+
+CLI::
+
+    python -m repro.eval runtable --set demo --out artifacts
+    python -m repro.eval runtable --set chaos --out artifacts --resume
+    python -m repro.eval runtable --set demo --out artifacts --shard 1/4
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import itertools
+import json
+import os
+import time
+from dataclasses import dataclass, field, replace
+
+from .faults import FaultPlan, FaultSpec
+from .harness import (
+    Scale,
+    Scenario,
+    ScenarioResult,
+    SupervisorConfig,
+    _json_fallback,
+    run_matrix,
+    scenario_result_payload,
+)
+
+__all__ = [
+    "RUNTABLE_SCHEMA",
+    "RunTableSpec",
+    "CheckpointJournal",
+    "RunTableResult",
+    "run_table",
+    "RUNTABLE_SETS",
+    "main",
+]
+
+RUNTABLE_SCHEMA = "dram-locker-runtable/1"
+
+
+@dataclass(frozen=True)
+class RunTableSpec:
+    """One factorial sweep: runner x axes x replicates.
+
+    Attributes:
+        name: Table name; prefixes every cell name and the artifact.
+        runner: Key into the harness's ``SCENARIO_RUNNERS``.
+        axes: ``(factor, (level, ...))`` pairs.  Cells are the full
+            Cartesian product; factor order inside a cell name is
+            sorted, so the cell list is independent of declaration
+            order.
+        replicates: Seeds per factor combination; each replicate is a
+            distinct cell named ``.../r<k>`` with its own derived seed.
+        scale: Fidelity knobs forwarded to every cell.
+        base_params: Runner params shared by every cell (overridden by
+            axis levels of the same name).
+        overrides: ``(fnmatch pattern, ((param, value), ...))`` pairs:
+            extra params merged into cells whose *name* matches --
+            how a chaos table gives one cell a channel fault.
+        timeout_s / retries: Per-cell supervision policy (see
+            :class:`~repro.eval.harness.SupervisorConfig`).
+    """
+
+    name: str
+    runner: str
+    axes: tuple[tuple[str, tuple], ...] = ()
+    replicates: int = 1
+    scale: Scale = field(default_factory=Scale.quick)
+    base_params: tuple[tuple[str, object], ...] = ()
+    overrides: tuple[tuple[str, tuple[tuple[str, object], ...]], ...] = ()
+    timeout_s: float | None = None
+    retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.replicates < 1:
+            raise ValueError("replicates must be >= 1")
+        factors = [factor for factor, _levels in self.axes]
+        if len(set(factors)) != len(factors):
+            raise ValueError(f"duplicate factors in axes: {factors}")
+        for factor, levels in self.axes:
+            if not levels:
+                raise ValueError(f"axis {factor!r} has no levels")
+
+    def cells(self) -> list[Scenario]:
+        """The deterministic full cell list (every shard sees the same
+        ordering; assignment slices it)."""
+        axes = sorted(self.axes)
+        level_sets = [levels for _factor, levels in axes]
+        cells = []
+        for combo in itertools.product(*level_sets):
+            factor_params = tuple(
+                (factor, level)
+                for (factor, _levels), level in zip(axes, combo)
+            )
+            stem = "/".join(
+                f"{factor}={level}" for factor, level in factor_params
+            )
+            for replicate in range(self.replicates):
+                name = (
+                    f"{self.name}/{stem}/r{replicate}"
+                    if stem
+                    else f"{self.name}/r{replicate}"
+                )
+                params = dict(self.base_params)
+                params.update(factor_params)
+                for pattern, extra in self.overrides:
+                    if fnmatch.fnmatchcase(name, pattern):
+                        params.update(extra)
+                cells.append(
+                    Scenario(
+                        name,
+                        self.runner,
+                        self.scale,
+                        seed=None,  # derive_seed(name, base_seed)
+                        params=tuple(sorted(params.items())),
+                    )
+                )
+        return cells
+
+
+class CheckpointJournal:
+    """Append-only jsonl checkpoint: one fsync'd record per cell.
+
+    Records are ``{"cell", "runner", "seed", "wall_clock_s",
+    "result"}`` with ``result`` in the artifact's results-section form
+    (:func:`~repro.eval.harness.scenario_result_payload`), so merging
+    journal records reproduces an uninterrupted artifact bit-for-bit.
+    A torn final line (the process died mid-write) is tolerated on
+    load; a torn line anywhere else is corruption and raises.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def load(self, repair: bool = False) -> dict[str, dict]:
+        """Completed-cell records by cell name (empty if no journal).
+
+        ``repair=True`` truncates a torn final line off the file --
+        required before appending to a journal left by a killed run,
+        or the torn fragment would end up mid-file.
+        """
+        if not os.path.exists(self.path):
+            return {}
+        records: dict[str, dict] = {}
+        with open(self.path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        lines = text.splitlines(keepends=True)
+        valid_bytes = 0
+        for lineno, line in enumerate(lines):
+            if not line.strip():
+                valid_bytes += len(line.encode("utf-8"))
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if lineno == len(lines) - 1:
+                    # Torn tail from a mid-write crash.
+                    if repair:
+                        with open(self.path, "a", encoding="utf-8") as out:
+                            out.truncate(valid_bytes)
+                    break
+                raise ValueError(
+                    f"corrupt journal {self.path}: bad record at line "
+                    f"{lineno + 1} (only the final line may be torn)"
+                )
+            records[record["cell"]] = record
+            valid_bytes += len(line.encode("utf-8"))
+        return records
+
+    def append(self, record: dict) -> None:
+        """Durably append one record: single write, flush, fsync."""
+        line = (
+            json.dumps(record, sort_keys=True, default=_json_fallback) + "\n"
+        )
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+@dataclass
+class RunTableResult:
+    """One (shard of a) run-table execution."""
+
+    spec: RunTableSpec
+    artifact_path: str
+    journal_path: str
+    cells: int
+    executed: int
+    resumed: int
+    quarantined: int
+    errors: int
+    wall_clock_s: float
+    artifact: dict
+
+
+def _shard_of(cells: list[Scenario], index: int, count: int) -> list[Scenario]:
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(f"bad shard {index}/{count}")
+    return cells[index::count]
+
+
+def run_table(
+    spec: RunTableSpec,
+    out_dir: str,
+    *,
+    base_seed: int = 0,
+    workers: int | None = None,
+    resume: bool = False,
+    shard: tuple[int, int] = (0, 1),
+    tag: str | None = None,
+    faults: FaultPlan | None = None,
+) -> RunTableResult:
+    """Execute (one shard of) a run-table with checkpointing.
+
+    Fresh runs truncate any stale journal; ``resume=True`` loads it
+    and executes only the missing cells.  Either way the merged
+    artifact is rebuilt from the journal in deterministic cell order,
+    which is what makes a killed-and-resumed table bit-identical
+    (``results`` section) to an uninterrupted one.  Quarantined and
+    errored cells are checkpointed like any other -- a resume does not
+    retry them (rerun without ``--resume`` for that).
+    """
+    started = time.perf_counter()
+    shard_index, shard_count = shard
+    cells = spec.cells()
+    my_cells = _shard_of(cells, shard_index, shard_count)
+    tag = tag or spec.name
+    suffix = f".shard{shard_index}of{shard_count}" if shard_count > 1 else ""
+    os.makedirs(out_dir, exist_ok=True)
+    journal = CheckpointJournal(
+        os.path.join(out_dir, f"{tag}{suffix}.journal.jsonl")
+    )
+    if resume:
+        completed = journal.load(repair=True)
+    else:
+        completed = {}
+        if os.path.exists(journal.path):
+            os.unlink(journal.path)
+    todo = [cell for cell in my_cells if cell.name not in completed]
+
+    def checkpoint(result: ScenarioResult) -> None:
+        journal.append(
+            {
+                "cell": result.name,
+                "runner": result.runner,
+                "seed": result.seed,
+                "wall_clock_s": result.wall_clock_s,
+                "result": scenario_result_payload(result),
+            }
+        )
+
+    matrix = None
+    if todo:
+        if faults is not None and workers == 1:
+            raise ValueError(
+                "worker fault injection needs workers >= 2 (a crash fault "
+                "on the serial path would kill the table itself)"
+            )
+        matrix = run_matrix(
+            todo,
+            workers=workers,
+            base_seed=base_seed,
+            tag="runtable-shard",
+            supervise=SupervisorConfig(
+                timeout_s=spec.timeout_s, retries=spec.retries
+            ),
+            faults=faults,
+            on_result=checkpoint,
+        )
+    records = journal.load()
+    missing = [cell.name for cell in my_cells if cell.name not in records]
+    if missing:
+        raise RuntimeError(
+            f"run-table finished with unjournaled cells: {missing}"
+        )
+    results = {cell.name: records[cell.name]["result"] for cell in my_cells}
+    groups: dict[str, dict[str, int]] = {}
+    for cell in my_cells:
+        group_name = cell.name.rsplit("/r", 1)[0]
+        group = groups.setdefault(group_name, {"replicates": 0, "errors": 0})
+        group["replicates"] += 1
+        payload = results[cell.name]
+        if isinstance(payload, dict) and "error" in payload:
+            group["errors"] += 1
+    quarantined = sum(
+        1
+        for payload in results.values()
+        if isinstance(payload, dict) and payload.get("quarantined")
+    )
+    errors = sum(
+        1
+        for payload in results.values()
+        if isinstance(payload, dict) and "error" in payload
+    )
+    artifact = {
+        "schema": RUNTABLE_SCHEMA,
+        "table": spec.name,
+        "tag": tag,
+        "base_seed": base_seed,
+        "axes": {factor: list(levels) for factor, levels in spec.axes},
+        "replicates": spec.replicates,
+        "shard": {
+            "index": shard_index,
+            "count": shard_count,
+            "cells": len(my_cells),
+            "total_cells": len(cells),
+        },
+        "cells": [
+            {
+                "name": cell.name,
+                "runner": cell.runner,
+                "seed": cell.resolved_seed(base_seed),
+                "params": cell.kwargs(),
+            }
+            for cell in my_cells
+        ],
+        "results": results,
+        "summary": {"groups": groups, "quarantined": quarantined,
+                    "errors": errors},
+        "timing": {
+            "total_s": time.perf_counter() - started,
+            "executed": len(todo),
+            "resumed": len(my_cells) - len(todo),
+            "workers": matrix.workers if matrix is not None else 0,
+            **(
+                {"attempts": matrix.attempt_log}
+                if matrix is not None and matrix.attempt_log
+                else {}
+            ),
+        },
+    }
+    artifact_path = os.path.join(out_dir, f"RUNTABLE_{tag}{suffix}.json")
+    # Atomic publish: the artifact is either the old complete file or
+    # the new complete file, never a torn write.
+    tmp_path = artifact_path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(
+            artifact,
+            handle,
+            indent=2,
+            sort_keys=True,
+            default=_json_fallback,
+        )
+        handle.write("\n")
+    os.replace(tmp_path, artifact_path)
+    return RunTableResult(
+        spec=spec,
+        artifact_path=artifact_path,
+        journal_path=journal.path,
+        cells=len(my_cells),
+        executed=len(todo),
+        resumed=len(my_cells) - len(todo),
+        quarantined=quarantined,
+        errors=errors,
+        wall_clock_s=time.perf_counter() - started,
+        artifact=artifact,
+    )
+
+
+# ----------------------------------------------------------------------
+# Canned tables
+# ----------------------------------------------------------------------
+def _demo_table() -> tuple[RunTableSpec, FaultPlan | None]:
+    """A small defense x channels serving sweep with replicates --
+    the shape of the bake-off tables, sized for CI."""
+    spec = RunTableSpec(
+        name="demo",
+        runner="serving",
+        axes=(
+            ("defense", ("None", "DRAM-Locker")),
+            ("channels", (1, 2)),
+        ),
+        replicates=2,
+        base_params=(
+            ("tenants", 3),
+            ("slices", 6),
+            ("ops_per_slice", 4.0),
+        ),
+    )
+    return spec, None
+
+
+def _chaos_table() -> tuple[RunTableSpec, FaultPlan | None]:
+    """The fault-injection acceptance table: a crash-once cell (must
+    recover via retry), a crash-always cell (must quarantine), a clean
+    cell, and a channel-fault serving cell (must conserve offered ==
+    served + shed with zero victim flips under DRAM-Locker)."""
+    spec = RunTableSpec(
+        name="chaos",
+        runner="serving",
+        axes=(
+            ("defense", ("None", "DRAM-Locker")),
+            ("channels", (1, 2)),
+        ),
+        replicates=1,
+        base_params=(
+            ("tenants", 3),
+            ("slices", 6),
+            ("ops_per_slice", 4.0),
+        ),
+        overrides=(
+            (
+                "chaos/channels=2/defense=DRAM-Locker/r0",
+                (("fault_channel", 1), ("fault_slice", 3)),
+            ),
+        ),
+        timeout_s=120.0,
+        retries=2,
+    )
+    faults = FaultPlan(
+        cells=(
+            (
+                "chaos/channels=1/defense=None/r0",
+                FaultSpec("crash", until_attempt=1),
+            ),
+            (
+                "chaos/channels=2/defense=None/r0",
+                FaultSpec("crash", until_attempt=99),
+            ),
+        )
+    )
+    return spec, faults
+
+
+#: Canned tables by name: factory -> (spec, fault plan or None).
+RUNTABLE_SETS = {
+    "demo": _demo_table,
+    "chaos": _chaos_table,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval runtable",
+        description="Checkpoint-resumable factorial run-tables.",
+    )
+    parser.add_argument(
+        "--set",
+        dest="table",
+        default="demo",
+        choices=sorted(RUNTABLE_SETS),
+        help="canned run-table to execute",
+    )
+    parser.add_argument("--out", default="artifacts", help="output directory")
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already in the checkpoint journal",
+    )
+    parser.add_argument(
+        "--shard",
+        default="0/1",
+        help="deterministic cell slice to run, as i/n (default 0/1)",
+    )
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--base-seed", type=int, default=0)
+    parser.add_argument("--tag", default=None, help="artifact/journal tag")
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="override the table's per-cell timeout (seconds)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None,
+        help="override the table's per-cell retry budget",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="print the cell list and exit"
+    )
+    args = parser.parse_args(argv)
+    try:
+        shard_index, shard_count = (
+            int(part) for part in args.shard.split("/")
+        )
+    except ValueError:
+        parser.error(f"--shard must look like i/n, got {args.shard!r}")
+    spec, faults = RUNTABLE_SETS[args.table]()
+    if args.timeout is not None:
+        spec = replace(spec, timeout_s=args.timeout)
+    if args.retries is not None:
+        spec = replace(spec, retries=args.retries)
+    if args.list:
+        for cell in _shard_of(spec.cells(), shard_index, shard_count):
+            print(f"{cell.name}  seed={cell.resolved_seed(args.base_seed)}")
+        return 0
+    result = run_table(
+        spec,
+        args.out,
+        base_seed=args.base_seed,
+        workers=args.workers,
+        resume=args.resume,
+        shard=(shard_index, shard_count),
+        tag=args.tag,
+        faults=faults,
+    )
+    print(
+        f"run-table {spec.name}: {result.cells} cell(s) "
+        f"({result.executed} executed, {result.resumed} resumed, "
+        f"{result.quarantined} quarantined, {result.errors} error(s)) "
+        f"in {result.wall_clock_s:.1f}s -> {result.artifact_path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

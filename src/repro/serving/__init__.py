@@ -32,6 +32,7 @@ from .live import (
     ChannelBacklog,
     ChannelScaler,
     LiveServer,
+    LiveServingError,
     ScalingConfig,
 )
 from .sharded import ChannelState, ShardedMemorySystem
@@ -70,6 +71,7 @@ __all__ = [
     "GuardRowTenant",
     "GuardRowTraffic",
     "LiveServer",
+    "LiveServingError",
     "SLAAccountant",
     "SOURCE_KNOBS",
     "ScalingConfig",

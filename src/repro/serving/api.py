@@ -197,6 +197,7 @@ def replay_trace(
     defense_builder=None,
     model_victim=None,
     sim: ServingSimulation | None = None,
+    fault=None,
 ) -> dict:
     """Deterministic synchronous replay of a recorded trace.
 
@@ -209,7 +210,9 @@ def replay_trace(
 
     ``config`` defaults to the one embedded in the trace header;
     ``sim`` lets tests hand in a pre-built simulation so they can
-    inspect locker/RNG state afterwards.
+    inspect locker/RNG state afterwards.  ``fault`` forwards an
+    optional :class:`repro.eval.faults.ChannelFault` (ignored when a
+    pre-built ``sim`` is passed -- construct that with the fault).
     """
     if sim is None:
         if config is None:
@@ -224,6 +227,7 @@ def replay_trace(
             protected=protected,
             defense_builder=defense_builder,
             model_victim=model_victim,
+            fault=fault,
         )
     admission = (
         AdmissionController(
@@ -245,10 +249,14 @@ def replay_trace(
                 shed += 1
                 sim.sla.observe_shed(top.tenant, reason)
                 continue
-            served += 1
-            sim.serve_op(
+            if sim.serve_op(
                 top.tenant, top.kind, top.requests, arrival_s=top.arrival_s
-            )
+            ):
+                served += 1
+            else:
+                # Shed onto a failed channel inside serve_op (reason
+                # "channel_fault", already booked).
+                shed += 1
         sim.end_slice()
     live = dict(
         sim.sla.live_report(),
@@ -268,25 +276,31 @@ def serve(
     *,
     trace: Trace | None = None,
     model_victim=None,
+    fault=None,
 ) -> ServingResult:
     """Run one serving cell under the redesigned public API.
 
     Dispatch: no trace -> closed loop; ``config.speedup == 0`` ->
     deterministic replay; ``> 0`` -> threaded live pacing.  ``trace``
     overrides ``config.trace`` (handy when the trace was just recorded
-    in memory and never written out).
+    in memory and never written out).  ``fault`` injects an optional
+    :class:`repro.eval.faults.ChannelFault` on any of the three paths
+    (kept out of the config so fault-free payloads and trace headers
+    keep their exact shape).
     """
     if trace is None and config.trace:
         trace = Trace.load(config.trace)
     if trace is None:
-        payload = ServingSimulation(config, model_victim=model_victim).run()
+        payload = ServingSimulation(
+            config, model_victim=model_victim, fault=fault
+        ).run()
         return ServingResult(payload)
     if config.speedup == 0:
         payload = replay_trace(
-            trace, config=config, model_victim=model_victim
+            trace, config=config, model_victim=model_victim, fault=fault
         )
         return ServingResult(payload)
-    sim = ServingSimulation(config, model_victim=model_victim)
+    sim = ServingSimulation(config, model_victim=model_victim, fault=fault)
     admission = (
         AdmissionController(config.admission, sim.sla, seed=config.seed)
         if config.admission is not None

@@ -141,13 +141,21 @@ class ServingSimulation:
         protected: bool | None = None,
         defense_builder=None,
         model_victim=None,
+        fault=None,
     ):
         """``protected`` installs per-channel DRAM-Lockers;
         ``defense_builder`` instead (or additionally) installs one
         baseline-defense instance per channel; when both are left at
         ``None`` they resolve from ``config.defense`` by name.
         ``model_victim`` is an optional ``(dataset, qmodel)`` pair
-        placed on channel 0."""
+        placed on channel 0.  ``fault`` is an optional
+        :class:`repro.eval.faults.ChannelFault` (kept out of
+        :class:`ServingConfig` so fault-free payloads and trace headers
+        keep their exact shape): at the boundary closing slice
+        ``fault.at_slice`` the channel fails (every later op touching
+        it is shed with reason ``"channel_fault"``, spilled first when
+        a channel scaler is present) or stalls (a one-shot clock jump).
+        """
         if protected is None and defense_builder is None:
             protected, defense_builder = resolve_serving_defense(
                 config.defense
@@ -156,6 +164,14 @@ class ServingSimulation:
             protected = False
         self.config = config
         self.protected = protected
+        self.fault = fault
+        self._fault_active = False
+        self._slices_closed = 0
+        # serve_op-level conservation counters (tenant traffic only;
+        # owner/attacker streams book through the SLA shed reasons).
+        self.op_offered = 0
+        self.op_served = 0
+        self.op_shed = 0
         # Dynamic scaling pre-builds the spare channels (a channel is a
         # whole memory system; hot-plugging one mid-run is not a thing),
         # but tenants start partitioned over the base ``channels`` only.
@@ -180,6 +196,14 @@ class ServingSimulation:
             seed=config.seed,
             engine=config.engine,
         )
+        if fault is not None:
+            if not 0 <= fault.channel < built_channels:
+                raise ValueError(
+                    f"fault channel {fault.channel} outside the built "
+                    f"range [0, {built_channels})"
+                )
+            if fault.kind not in ("fail", "stall"):
+                raise ValueError(f"unknown channel fault kind {fault.kind!r}")
         self.store = None
         self.dataset = None
         self.qmodel = None
@@ -405,9 +429,12 @@ class ServingSimulation:
         *,
         arrival_s: float | None = None,
         prepared=None,
-    ) -> None:
+    ) -> bool:
         """Serve one workload op -- the unit both the closed loop and
-        the trace-replay/live paths share.
+        the trace-replay/live paths share.  Returns ``True`` when the
+        op was served, ``False`` when it was shed onto a failed channel
+        (booked with reason ``"channel_fault"``) -- callers counting
+        conservation fold the return into their served/shed tallies.
 
         ``arrival_s`` (replay/live only) books the op's **sojourn** --
         completion minus arrival on the trace clock, floored at its
@@ -420,15 +447,28 @@ class ServingSimulation:
         """
         sla = self.sla
         sla.observe_op(tenant, kind)
+        self.op_offered += 1
         if self._scaler is not None:
             requests = self._scaler.route(tenant, requests)
+        if self._fault_active and self.fault.kind == "fail":
+            # After scaler routing: a spilled tenant's replica ops land
+            # on a healthy channel and are served; only traffic still
+            # bound for the failed channel is shed.
+            if any(
+                self.system.channel_failed(index)
+                for index in self._involved_channels(requests)
+            ):
+                sla.observe_shed(tenant, "channel_fault")
+                self.op_shed += 1
+                return False
         sink = sla.sink(tenant)
         if arrival_s is None or self._queue is not None:
             if prepared is not None:
                 prepared()
             else:
                 self._dispatch(requests, sink)
-            return
+            self.op_served += 1
+            return True
         before_service = sink.summary.latency_ns
         if prepared is not None:
             prepared()
@@ -441,11 +481,36 @@ class ServingSimulation:
         service_ns = sink.summary.latency_ns - before_service
         sojourn_ns = max(service_ns, completion_ns - arrival_s * 1e9)
         sla.observe_sojourn(tenant, sojourn_ns)
+        self.op_served += 1
+        return True
 
     def end_slice(self) -> None:
-        """Close one time slice: victim-owner traffic, the co-located
-        attacker's burst, the event-queue drain (``engine="events"``),
-        and the channel scaler's epoch check."""
+        """Close one time slice: fault activation, victim-owner
+        traffic, the co-located attacker's burst, the event-queue drain
+        (``engine="events"``), and the channel scaler's epoch check.
+
+        An injected :class:`~repro.eval.faults.ChannelFault` activates
+        at the top of the boundary closing slice ``at_slice``: tenant
+        ops of that slice ran clean, everything from this boundary on
+        (owner/attacker traffic included) sees the failed or stalled
+        channel.  The slice counter, not the wall clock, indexes
+        activation, so the closed-loop, replay, and live paths inject
+        at the identical point.
+        """
+        if (
+            self.fault is not None
+            and not self._fault_active
+            and self._slices_closed >= self.fault.at_slice
+        ):
+            self._fault_active = True
+            if self.fault.kind == "fail":
+                self.system.fail_channel(self.fault.channel)
+                if self._scaler is not None:
+                    self._scaler.on_channel_failed(self.fault.channel)
+            else:
+                self.system.stall_channel(
+                    self.fault.channel, self.fault.stall_ns
+                )
         self._victim_owner_slice()
         if self.config.colocated:
             self._attacker_slice()
@@ -453,6 +518,17 @@ class ServingSimulation:
             self._queue.drain()
         if self._scaler is not None:
             self._scaler.on_epoch(self.sla)
+        self._slices_closed += 1
+
+    def _row_unavailable(self, system_row: int) -> bool:
+        """Whether fault injection took this row's channel out."""
+        return (
+            self._fault_active
+            and self.fault.kind == "fail"
+            and self.system.channel_failed(
+                self.system.locate(system_row)[0].index
+            )
+        )
 
     def _involved_channels(self, requests) -> list[int]:
         """Channel indices a request stream lands on (for the sojourn
@@ -471,6 +547,9 @@ class ServingSimulation:
         for _ in range(self.config.victim_traffic_per_slice):
             for row in self.campaign_rows:
                 self.sla.observe_op("victim-owner", "guard-read")
+                if self._row_unavailable(row):
+                    self.sla.observe_shed("victim-owner", "channel_fault")
+                    continue
                 self._victim_traffic.touch(row)
 
     def _attacker_slice(self) -> None:
@@ -481,6 +560,9 @@ class ServingSimulation:
         for row in self.campaign_rows:
             for aggressor in self.system.neighbors(row, radius=1):
                 self.sla.observe_op("attacker", "hammer")
+                if self._row_unavailable(aggressor):
+                    self.sla.observe_shed("attacker", "channel_fault")
+                    continue
                 self._dispatch(
                     RequestRun(
                         MemRequest(Kind.ACT, aggressor, privileged=False),
@@ -545,6 +627,20 @@ class ServingSimulation:
         }
         if self._scaler is not None:
             payload["scaling"] = self._scaler.report()
+        if self.fault is not None:
+            payload["fault"] = {
+                "channel": self.fault.channel,
+                "kind": self.fault.kind,
+                "at_slice": self.fault.at_slice,
+                "active": self._fault_active,
+                "failed_channels": list(self.system.failed_channels),
+                "offered_ops": self.op_offered,
+                "served_ops": self.op_served,
+                "shed_ops": self.op_shed,
+                "conserved": (
+                    self.op_offered == self.op_served + self.op_shed
+                ),
+            }
         return payload
 
 
@@ -554,16 +650,19 @@ def run_serving(
     protected: bool | None = None,
     defense_builder=None,
     model_victim=None,
+    fault=None,
 ) -> dict:
     """Build and run one serving cell; returns the scenario payload.
 
     A thin shim over :class:`ServingSimulation` kept for the harness's
     existing call sites; the richer entry point is
     :func:`repro.serving.serve`, which also understands traces,
-    admission control, and live pacing."""
+    admission control, and live pacing.  ``fault`` forwards an optional
+    :class:`repro.eval.faults.ChannelFault`."""
     return ServingSimulation(
         config,
         protected=protected,
         defense_builder=defense_builder,
         model_victim=model_victim,
+        fault=fault,
     ).run()

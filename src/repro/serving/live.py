@@ -53,7 +53,23 @@ __all__ = [
     "ScalingConfig",
     "ChannelScaler",
     "LiveServer",
+    "LiveServingError",
 ]
+
+
+class LiveServingError(RuntimeError):
+    """A live serving run failed with structured context.
+
+    Wraps the underlying exception (``__cause__``) from either thread
+    instead of letting it hang the process: ``context`` carries the
+    failing phase (``"ingestion"`` or ``"executor"``) and the
+    conservation counters at the moment of failure, so partial runs
+    remain diagnosable.
+    """
+
+    def __init__(self, message: str, context: dict):
+        super().__init__(f"{message} [context: {context}]")
+        self.context = context
 
 
 @dataclass(frozen=True)
@@ -259,6 +275,9 @@ class ChannelScaler:
         self._spare = list(range(base_channels, scaling.max_channels))
         self._spill: dict[str, tuple[int, int, int]] = {}
         self._toggle: dict[str, bool] = {}
+        # Tenants whose home channel failed: route() moves *every* op
+        # to the replica instead of alternating.
+        self._forced: set[str] = set()
 
     def on_epoch(self, sla: SLAAccountant) -> None:
         """The slice-boundary check: spill newly hot tenants while
@@ -290,16 +309,43 @@ class ChannelScaler:
         self._spill[tenant] = (first, count, spill_first)
         self._toggle[tenant] = False
 
+    def on_channel_failed(self, failed_channel: int) -> None:
+        """Fail-over: force-spill every tenant homed on a failed
+        channel onto a spare, and stop load-balancing back onto it.
+
+        Tenants already spilled (load-balancing) switch to full
+        replica routing; un-spilled tenants claim the next healthy
+        spare.  Tenants left without a spare keep their home rows and
+        are shed upstream (``"channel_fault"``) -- degradation stays
+        graceful, conservation stays exact.
+        """
+        self._spare = [
+            channel for channel in self._spare if channel != failed_channel
+        ]
+        for tenant in sorted(self._partitions):
+            first, _count = self._partitions[tenant]
+            home_channel, _ = self._system.interleaver.locate(first)
+            if home_channel != failed_channel:
+                continue
+            if tenant not in self._spill:
+                if not self._spare:
+                    continue
+                self._spill_tenant(tenant)
+            if tenant in self._spill:
+                self._forced.add(tenant)
+
     def route(self, tenant: str, requests):
         """Translate every other op of a spilled tenant to its replica
-        partition; everyone else's streams pass through untouched."""
+        partition -- every op, for tenants force-spilled off a failed
+        channel; everyone else's streams pass through untouched."""
         info = self._spill.get(tenant)
         if info is None:
             return requests
-        flip = not self._toggle[tenant]
-        self._toggle[tenant] = flip
-        if not flip:
-            return requests
+        if tenant not in self._forced:
+            flip = not self._toggle[tenant]
+            self._toggle[tenant] = flip
+            if not flip:
+                return requests
         first, _count, spill_first = info
 
         def move(request: MemRequest) -> MemRequest:
@@ -321,7 +367,15 @@ class ChannelScaler:
                 "rows": count,
                 "spill_first": spill_first,
             }
-        return {"spilled": spilled, "spare_remaining": len(self._spare)}
+        return {
+            "spilled": spilled,
+            "spare_remaining": len(self._spare),
+            # Present only on injected-fault runs, so fault-free
+            # payloads keep their exact historical shape.
+            **(
+                {"forced": sorted(self._forced)} if self._forced else {}
+            ),
+        }
 
 
 class LiveServer:
@@ -377,6 +431,10 @@ class LiveServer:
         self.offered = 0
         self.served = 0
         self.shed = 0
+        #: Bounded wait for the ingestion thread at shutdown; past it
+        #: the (daemon) thread is abandoned rather than deadlocking.
+        self.join_timeout_s = 10.0
+        self._stop = threading.Event()
 
     # ------------------------------------------------------------------
     # Threads
@@ -387,10 +445,15 @@ class LiveServer:
             start = time.monotonic()
             for slice_index in range(self.trace.slices):
                 for top in self.trace.slice_ops(slice_index):
+                    if self._stop.is_set():
+                        return
                     target = start + top.arrival_s / self.speedup
                     delay = target - time.monotonic()
-                    if delay > 0:
-                        time.sleep(delay)
+                    # Stop-aware pacing: a failed executor releases the
+                    # ingestion thread mid-sleep instead of letting it
+                    # pace out the rest of the trace.
+                    if delay > 0 and self._stop.wait(delay):
+                        return
                     reason = (
                         self.admission.screen(top.tenant, top.arrival_s)
                         if self.admission is not None
@@ -405,9 +468,15 @@ class LiveServer:
                         transport.put(("shed", top, reason))
                         continue
                     prepared = None
-                    if sim._queue is None and sim._scaler is None:
+                    if (
+                        sim._queue is None
+                        and sim._scaler is None
+                        and sim.fault is None
+                    ):
                         # Address translation + batching off the
-                        # executor; execution stays deferred.
+                        # executor; execution stays deferred.  Disabled
+                        # under fault injection: serve_op must see raw
+                        # requests to route them around a dead channel.
                         prepared = sim.system.handoff_stream(
                             top.requests, sim.sla.sink(top.tenant)
                         )
@@ -422,11 +491,17 @@ class LiveServer:
         ``"live"`` section attached."""
         sim = self.sim
         transport: "queue.Queue" = queue.Queue()
+        # Daemon: a thread the bounded join below abandons must never
+        # keep the interpreter alive at process exit.
         ingest = threading.Thread(
-            target=self._ingest, args=(transport,), name="serving-ingest"
+            target=self._ingest,
+            args=(transport,),
+            name="serving-ingest",
+            daemon=True,
         )
         wall_start = time.monotonic()
         ingest.start()
+        phase = "executor"
         try:
             while True:
                 item = transport.get()
@@ -434,15 +509,19 @@ class LiveServer:
                 if kind == "op":
                     _, top, involved, prepared = item
                     self.offered += 1
-                    sim.serve_op(
+                    if sim.serve_op(
                         top.tenant,
                         top.kind,
                         top.requests,
                         arrival_s=top.arrival_s,
                         prepared=prepared,
-                    )
+                    ):
+                        self.served += 1
+                    else:
+                        # Shed onto a failed channel inside serve_op
+                        # (reason "channel_fault", already booked).
+                        self.shed += 1
                     self.backlog.release(involved)
-                    self.served += 1
                 elif kind == "shed":
                     _, top, reason = item
                     self.offered += 1
@@ -451,11 +530,40 @@ class LiveServer:
                 elif kind == "slice":
                     sim.end_slice()
                 elif kind == "error":
+                    phase = "ingestion"
                     raise item[1]
                 else:  # eof
                     break
-        finally:
-            ingest.join()
+        except BaseException as error:
+            # Bounded teardown: signal the ingestion thread, give it a
+            # bounded join, and surface the failure with context -- a
+            # wedged executor must not deadlock the process on join().
+            self._stop.set()
+            ingest.join(timeout=self.join_timeout_s)
+            raise LiveServingError(
+                "live serving run failed",
+                {
+                    "phase": phase,
+                    "error": f"{type(error).__name__}: {error}",
+                    "offered": self.offered,
+                    "served": self.served,
+                    "shed": self.shed,
+                    "ingest_alive": ingest.is_alive(),
+                },
+            ) from error
+        ingest.join(timeout=self.join_timeout_s)
+        if ingest.is_alive():
+            self._stop.set()
+            raise LiveServingError(
+                "ingestion thread still running after eof",
+                {
+                    "phase": "ingestion",
+                    "offered": self.offered,
+                    "served": self.served,
+                    "shed": self.shed,
+                    "ingest_alive": True,
+                },
+            )
         wall_s = time.monotonic() - wall_start
         live = dict(
             sim.sla.live_report(),

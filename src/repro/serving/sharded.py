@@ -121,6 +121,38 @@ class ShardedMemorySystem:
             self.channels.append(
                 ChannelState(index, device, controller, locker, defense)
             )
+        # Channels marked failed by fault injection; callers (the
+        # serving engine) must route or shed around them -- the stacks
+        # themselves stay intact so post-mortem reads still work.
+        self._failed: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def fail_channel(self, index: int) -> None:
+        """Mark one channel failed: it stops serving.  The serving
+        engine consults :meth:`channel_failed` and sheds (or spills via
+        the channel scaler) every op that would land on it."""
+        if not 0 <= index < len(self.channels):
+            raise ValueError(f"no channel {index} to fail")
+        self._failed.add(index)
+
+    def stall_channel(self, index: int, stall_ns: float) -> None:
+        """A one-shot brownout: jump the channel's clock ``stall_ns``
+        forward (ticking its refresh machinery), so every later op on
+        it completes late -- the sojourn books absorb the hit."""
+        if not 0 <= index < len(self.channels):
+            raise ValueError(f"no channel {index} to stall")
+        self.channels[index].device.advance(stall_ns)
+
+    def channel_failed(self, index: int) -> bool:
+        """Whether fault injection has failed this channel."""
+        return index in self._failed
+
+    @property
+    def failed_channels(self) -> tuple[int, ...]:
+        """Failed channel indices, sorted."""
+        return tuple(sorted(self._failed))
 
     @staticmethod
     def channel_seed(index: int, seed: int) -> int:
@@ -364,6 +396,13 @@ class ShardedMemorySystem:
                     "blocked_requests": stats.blocked_requests,
                     "bit_flips": stats.bit_flips,
                     "busy_ns": stats.busy_ns,
+                    # Only present on injected-fault runs, so fault-free
+                    # payloads keep their exact historical shape.
+                    **(
+                        {"failed": True}
+                        if state.index in self._failed
+                        else {}
+                    ),
                 }
             )
         return report

@@ -58,9 +58,14 @@ def pristine_registries():
 def test_docs_exist_and_are_linked():
     assert "ARCHITECTURE.md" in DOC_FILES
     assert "EXTENDING.md" in DOC_FILES
+    assert "FLEET.md" in DOC_FILES
     with open(os.path.join(REPO, "README.md"), encoding="utf-8") as handle:
         readme = handle.read()
-    for name in ("docs/ARCHITECTURE.md", "docs/EXTENDING.md"):
+    for name in (
+        "docs/ARCHITECTURE.md",
+        "docs/EXTENDING.md",
+        "docs/FLEET.md",
+    ):
         assert name in readme, f"README does not link {name}"
 
 
@@ -95,7 +100,9 @@ def _checkable(command: str) -> list[str] | None:
             skip_value = True
             continue
         cleaned.append(arg)
-    if "matrix" in cleaned and "--list" not in cleaned:
+    if (
+        "matrix" in cleaned or "runtable" in cleaned
+    ) and "--list" not in cleaned:
         cleaned.append("--list")
     return cleaned
 

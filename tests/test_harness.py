@@ -410,10 +410,13 @@ class TestPersistentPoolAndProfiling:
         harness.shutdown_worker_pool()
 
         class PoisonedPool:
-            def map(self, fn, jobs):
+            def apply_async(self, fn, args):
                 raise RuntimeError("worker died")
 
             def terminate(self):
+                pass
+
+            def close(self):
                 pass
 
             def join(self):

@@ -289,3 +289,129 @@ class TestCompareDefendedHammer:
         baseline.write_text(json.dumps(doc))
         assert check_main([str(current), str(baseline)]) == 0
         assert "graphene" in capsys.readouterr().out
+
+
+def runtable_artifact(**overrides):
+    from repro.eval.regression import RUNTABLE_BENCH_SCHEMA
+
+    document = {
+        "schema": RUNTABLE_BENCH_SCHEMA,
+        "checkpoint": {
+            "cells": 8,
+            "results_identical": True,
+            "overhead_ratio": 1.2,
+        },
+        "recovery": {
+            "journal_lines_at_kill": 2,
+            "resumed_cells": 2,
+            "resume_identical": True,
+        },
+        "chaos": {
+            "cells": 4,
+            "quarantined": 1,
+            "errors": 1,
+            "recovered": 1,
+            "channel_fault": {
+                "conserved": True,
+                "offered_ops": 53,
+                "served_ops": 45,
+                "shed_ops": 8,
+                "victim_flip_events": 0,
+            },
+        },
+    }
+    for key, value in overrides.items():
+        document[key] = {**document[key], **value}
+    return document
+
+
+class TestCompareRuntable:
+    def test_identical_passes(self):
+        from repro.eval.regression import compare_runtable
+
+        report = compare_runtable(runtable_artifact(), runtable_artifact())
+        assert report.ok and len(report.checks) >= 6
+
+    def test_checkpoint_divergence_fails(self):
+        from repro.eval.regression import compare_runtable
+
+        report = compare_runtable(
+            runtable_artifact(checkpoint={"results_identical": False}),
+            runtable_artifact(),
+        )
+        assert not report.ok
+        assert "diverged from plain run_matrix" in report.violations[0]
+
+    def test_resume_divergence_fails(self):
+        from repro.eval.regression import compare_runtable
+
+        report = compare_runtable(
+            runtable_artifact(recovery={"resume_identical": False}),
+            runtable_artifact(),
+        )
+        assert not report.ok
+
+    def test_unexercised_recovery_fails(self):
+        from repro.eval.regression import compare_runtable
+
+        report = compare_runtable(
+            runtable_artifact(recovery={"journal_lines_at_kill": 0}),
+            runtable_artifact(),
+        )
+        assert not report.ok
+        assert "resume path not exercised" in report.violations[0]
+
+    def test_quarantine_count_is_pinned(self):
+        from repro.eval.regression import compare_runtable
+
+        report = compare_runtable(
+            runtable_artifact(chaos={"quarantined": 2}),
+            runtable_artifact(),
+        )
+        assert not report.ok
+
+    def test_conservation_break_fails(self):
+        from repro.eval.regression import compare_runtable
+
+        broken = runtable_artifact()
+        broken["chaos"]["channel_fault"] = dict(
+            broken["chaos"]["channel_fault"], conserved=False
+        )
+        report = compare_runtable(broken, runtable_artifact())
+        assert not report.ok
+
+    def test_victim_flips_fail(self):
+        from repro.eval.regression import compare_runtable
+
+        flipped = runtable_artifact()
+        flipped["chaos"]["channel_fault"] = dict(
+            flipped["chaos"]["channel_fault"], victim_flip_events=3
+        )
+        assert not compare_runtable(flipped, runtable_artifact()).ok
+
+    def test_overhead_ratio_tolerance(self):
+        from repro.eval.regression import compare_runtable
+
+        bloated = runtable_artifact(checkpoint={"overhead_ratio": 2.0})
+        assert not compare_runtable(
+            bloated, runtable_artifact(), overhead_tolerance=0.25
+        ).ok
+        assert compare_runtable(
+            bloated, runtable_artifact(), overhead_tolerance=1.0
+        ).ok
+
+    def test_cli_dispatches_on_runtable_schema(self, tmp_path, capsys):
+        import sys
+
+        sys.path.insert(0, "benchmarks")
+        try:
+            from check_regression import main as check_main
+        finally:
+            sys.path.pop(0)
+        current = tmp_path / "BENCH_runtable.json"
+        baseline = tmp_path / "BENCH_runtable_baseline.json"
+        doc = runtable_artifact()
+        current.write_text(json.dumps(doc))
+        baseline.write_text(json.dumps(doc))
+        assert check_main([str(current), str(baseline)]) == 0
+        assert "SIGKILL" in capsys.readouterr().out
