@@ -18,7 +18,9 @@ channel-scaling throughput ratios (``--speedup-tolerance``), and the
 protected victim staying intact under the co-located attack; live
 serving artifacts (``bench_serving_live.py``) on replay equivalence,
 exact overload fingerprints, and admission holding the sojourn
-target.  Refresh a baseline by copying a
+target; defense bake-off artifacts (``bench_bakeoff.py``) on the
+chaos-cell detect-and-recover contract, engine equivalence, exact SLA
+fingerprints, and the protection frontier.  Refresh a baseline by copying a
 trusted run's artifact over the ``*_baseline.json`` file under
 ``benchmarks/artifacts/`` -- regenerate harness baselines on the same
 runner class the workflow uses, since wall-clock baselines do not
@@ -29,12 +31,14 @@ import argparse
 
 from repro.eval.regression import (
     ATTACK_SEARCH_SCHEMA,
+    BAKEOFF_SCHEMA,
     DEFENDED_HAMMER_SCHEMA,
     RUNTABLE_BENCH_SCHEMA,
     SERVING_LIVE_SCHEMA,
     SERVING_SCHEMA,
     compare_artifacts,
     compare_attack_search,
+    compare_bakeoff,
     compare_defended_hammer,
     compare_runtable,
     compare_serving,
@@ -71,6 +75,10 @@ def main(argv: list[str] | None = None) -> int:
     elif current.get("schema") == RUNTABLE_BENCH_SCHEMA:
         report = compare_runtable(
             current, baseline, overhead_tolerance=args.speedup_tolerance
+        )
+    elif current.get("schema") == BAKEOFF_SCHEMA:
+        report = compare_bakeoff(
+            current, baseline, accuracy_tolerance=args.accuracy_tolerance
         )
     else:
         report = compare_artifacts(

@@ -2,11 +2,13 @@
 
 from .base import Defense, DefenseAction, NoDefense, OverheadReport, RunAction
 from .counters import CounterPerRow, CounterTree
+from .dnn_defender import DNNDefender
 from .graphene import Graphene
 from .hydra import Hydra
 from .para import PARA
 from .permutation import RowPermutation
 from .ppim import PPIM
+from .radar import Radar, RadarGroup
 from .rrs import RRS, SRS
 from .shadow import Shadow
 from .trackers import MisraGries
@@ -25,6 +27,7 @@ __all__ = [
     "DEFENDED_HAMMER_DEFENSES",
     "resolve_serving_defense",
     "CounterTree",
+    "DNNDefender",
     "Defense",
     "DefenseAction",
     "Graphene",
@@ -35,6 +38,8 @@ __all__ = [
     "PARA",
     "PPIM",
     "RRS",
+    "Radar",
+    "RadarGroup",
     "RowPermutation",
     "RunAction",
     "SRS",

@@ -25,9 +25,11 @@ from typing import Any, Callable
 
 from .base import NoDefense
 from .counters import CounterPerRow, CounterTree
+from .dnn_defender import DNNDefender
 from .graphene import Graphene
 from .hydra import Hydra
 from .para import PARA
+from .radar import Radar
 from .rrs import RRS, SRS
 from .shadow import Shadow
 from .trr import TRR
@@ -52,6 +54,8 @@ DEFENSE_BUILDERS: dict[str, Callable[[], Any] | None] = {
     "RRS": lambda: RRS(seed=1),
     "SRS": lambda: SRS(seed=1),
     "SHADOW": lambda: Shadow(shuffle_period=100, seed=1),
+    "RADAR": lambda: Radar(scrub_interval=200),
+    "DNN-Defender": lambda: DNNDefender(hot_threshold=100, seed=1),
     "DRAM-Locker": None,  # handled via the locker, not a Defense
 }
 
@@ -70,6 +74,8 @@ DEFENDED_HAMMER_DEFENSES: dict[str, Callable[[], Any] | None] = {
     "RRS": lambda: RRS(seed=1),
     "SRS": lambda: SRS(seed=1),
     "SHADOW": lambda: Shadow(shuffle_period=1000, seed=1),
+    "RADAR": lambda: Radar(),
+    "DNN-Defender": lambda: DNNDefender(seed=1),
     "DRAM-Locker": None,  # handled via the locker, not a Defense
 }
 

@@ -155,6 +155,7 @@ class ProtectedSystem:
     store: WeightStore
     driver: HammerDriver
     locker: DRAMLocker | None
+    defense: object | None = None
 
 
 def build_system(
@@ -163,12 +164,18 @@ def build_system(
     trh: int = WORST_CASE_TRH,
     swap_failure_rate: float = SWAP_FAILURE_RATE,
     seed: int = 0,
+    defense_builder=None,
 ) -> ProtectedSystem:
     """Place the model's weights in DRAM, with or without DRAM-Locker.
 
     ``swap_failure_rate`` is the whole-SWAP failure probability the
     paper charges (9.6 % at the +/-20 % corner); the per-RowClone rate
-    is derived so three copies compose to it.
+    is derived so three copies compose to it.  ``defense_builder``
+    installs a baseline/detect-and-recover defense instance on the
+    controller instead of (or alongside) the locker; defenses exposing
+    the victim-load hooks (``bind_store`` / ``prioritize``) are bound
+    to the weight store, mirroring the serving engine's model-victim
+    attach.
     """
     config = DRAMConfig.small()
     vulnerability = VulnerabilityMap(config, seed=seed, weak_cell_fraction=5e-5)
@@ -184,13 +191,22 @@ def build_system(
                 seed=seed,
             ),
         )
-    controller = MemoryController(device, locker=locker)
+    defense = defense_builder() if defense_builder is not None else None
+    controller = MemoryController(device, defense=defense, locker=locker)
     store = WeightStore(device, qmodel, guard_rows=True)
     if locker is not None:
         plan = locker.protect(store.data_rows, mode=LockMode.ADJACENT)
         assert plan.is_complete, "guard-row layout should have no holes"
+    if defense is not None:
+        if hasattr(defense, "bind_store"):
+            defense.bind_store(store)
+        if hasattr(defense, "prioritize"):
+            defense.prioritize(store.data_rows)
+        # Syncs/write-backs must follow the defense's row translation
+        # (a permuting defense relocates threatened weight rows).
+        store.row_source = defense.translate
     driver = HammerDriver(controller, patience=2.0)
-    return ProtectedSystem(device, controller, store, driver, locker)
+    return ProtectedSystem(device, controller, store, driver, locker, defense)
 
 
 def _background_tenant_hook(system: ProtectedSystem, seed: int = 1) -> GuardRowTenant:
@@ -415,6 +431,7 @@ def run_attack_scenario(
     protected: bool = True,
     in_dram: bool = True,
     iterations: int | None = None,
+    defense: str | None = None,
     **attack_params,
 ) -> dict:
     """One cell of the attack x defense matrix, dispatched by name.
@@ -424,8 +441,22 @@ def run_attack_scenario(
     in simulated DRAM (unless ``in_dram=False``, the pure software
     ablation), optionally behind DRAM-Locker, and the attack executes
     through the registry's uniform ``run_attack`` entry point.
+
+    ``defense`` selects the whole defense family by serving name
+    (``"None"`` / ``"DRAM-Locker"`` / any
+    :data:`~repro.defenses.builders.DEFENDED_HAMMER_DEFENSES` entry,
+    e.g. ``"RADAR"`` or ``"DNN-Defender"``), overriding ``protected``;
+    the payload then carries a ``"defense"`` section with the instance's
+    mitigation accounting -- the bake-off's protection axis.
     """
     scale = scale or Scale.quick()
+    defense_builder = None
+    if defense is not None:
+        from ..defenses.builders import resolve_serving_defense
+
+        protected, defense_builder = resolve_serving_defense(defense)
+        if not in_dram:
+            raise ValueError("defense= requires in_dram=True")
     dataset, qmodel = build_victim(arch, scale)
     clean = qmodel.model.accuracy(dataset.test_x, dataset.test_y)
     snapshot = qmodel.snapshot()
@@ -435,8 +466,14 @@ def run_attack_scenario(
         seed=scale.seed,
         attack_batch=scale.attack_batch,
     )
+    system = None
     if in_dram:
-        system = build_system(qmodel, protected=protected, seed=scale.seed)
+        system = build_system(
+            qmodel,
+            protected=protected,
+            seed=scale.seed,
+            defense_builder=defense_builder,
+        )
         ctx.store = system.store
         ctx.driver = system.driver
         if protected:
@@ -447,7 +484,7 @@ def run_attack_scenario(
         attack, ctx, iterations or scale.attack_iterations, **attack_params
     )
     qmodel.restore(snapshot)
-    return {
+    payload = {
         "arch": arch,
         "protected": protected,
         "in_dram": in_dram,
@@ -455,6 +492,33 @@ def run_attack_scenario(
         "chance_accuracy": 100.0 / dataset.num_classes,
         **outcome,
     }
+    if defense is not None:
+        payload["defense"] = _defense_section(defense, system)
+    return payload
+
+
+def _defense_section(name: str, system: ProtectedSystem | None) -> dict:
+    """The bake-off's protection accounting for one attack cell."""
+    section: dict = {"name": name}
+    instance = system.defense if system is not None else None
+    if instance is not None:
+        section.update(
+            mitigation_ns=instance.mitigation_ns_total,
+            actions=instance.actions,
+        )
+        for attr in (
+            "corruptions_detected",
+            "rows_restored",
+            "rows_zeroed",
+            "scrubs",
+            "read_checks",
+            "swaps_performed",
+        ):
+            if hasattr(instance, attr):
+                section[attr] = getattr(instance, attr)
+    if system is not None and system.locker is not None:
+        section["locker"] = system.locker.exposure_summary()
+    return section
 
 
 # ----------------------------------------------------------------------

@@ -87,6 +87,8 @@ __all__ = [
     "attack_prewarm",
     "shutdown_worker_pool",
     "attack_scenarios",
+    "bakeoff_scenarios",
+    "BAKEOFF_DEFENSES",
     "cheap_scenarios",
     "smoke_scenarios",
     "quick_scenarios",
@@ -677,6 +679,86 @@ def _run_serving_live(
     return payload
 
 
+def _run_defense_bakeoff(
+    scale: Scale,
+    seed: int,
+    attack: str = "bfa",
+    defense: str = "None",
+    channels: int = 1,
+    arch: str = "resnet20",
+    iterations: int = 6,
+    slices: int = 12,
+    ops_per_slice: float = 6.0,
+    engine: str = "bulk",
+    serving: bool = False,
+    probe_interval: int = 4,
+    quarantine_slices: int = 1,
+    inject_slice: int = -1,
+    inject_rows: int = 2,
+    **attack_params,
+) -> dict:
+    """One bake-off cell: an attack-registry campaign and/or a serving
+    run under one defense family (``None`` / ``DRAM-Locker`` /
+    ``RADAR`` / ``DNN-Defender``).
+
+    The **attack phase** (``attack != "none"``) runs the registered
+    attack against the defended in-DRAM victim and reports the
+    protection outcome plus the defense's mitigation accounting -- the
+    bake-off's protection axis.  The **serving phase**
+    (``serving=True``) runs a model-victim serving cell with the
+    victim-health monitor riding it -- the SLA-overhead, detection
+    latency, and post-recovery-accuracy axes.  ``inject_slice >= 0``
+    makes it the chaos cell: deterministic weight-row corruption at
+    that slice boundary, which the monitor must detect and recover.
+
+    Both phases pin the trained victim to seed 0 (the attack matrix's
+    shared-victim-cache convention); ``seed`` drives the serving
+    workload RNG streams.
+    """
+    from ..serving import HealthConfig, ServingConfig, run_serving
+    from .experiments import build_victim
+
+    payload: dict = {
+        "defense": defense,
+        "attack": attack,
+        "channels": channels,
+        "arch": arch,
+    }
+    if attack != "none":
+        payload["attack_phase"] = run_attack_scenario(
+            scale=_seeded(scale, 0),
+            attack=attack,
+            arch=arch,
+            defense=defense,
+            iterations=iterations,
+            **attack_params,
+        )
+    if serving:
+        protected, builder = resolve_serving_defense(defense)
+        health = HealthConfig(
+            probe_interval=probe_interval,
+            quarantine_slices=quarantine_slices,
+            inject_at=(inject_slice,) if inject_slice >= 0 else (),
+            inject_rows=inject_rows,
+        )
+        config = ServingConfig(
+            channels=channels,
+            slices=slices,
+            ops_per_slice=ops_per_slice,
+            engine=engine,
+            seed=seed,
+            defense=defense,
+        )
+        payload["serving_phase"] = run_serving(
+            config,
+            protected=protected,
+            defense_builder=builder,
+            model_victim=build_victim(arch, _seeded(scale, 0)),
+            health=health,
+        )
+    return payload
+
+
 SCENARIO_RUNNERS: dict[str, Callable[..., dict]] = {
     "attack": _run_attack,
     "fig1a": _run_fig1a,
@@ -697,6 +779,7 @@ SCENARIO_RUNNERS: dict[str, Callable[..., dict]] = {
     "defended_hammer": _run_defended_hammer,
     "serving": _run_serving,
     "serving_live": _run_serving_live,
+    "defense_bakeoff": _run_defense_bakeoff,
 }
 
 
@@ -1571,6 +1654,61 @@ def serving_live_scenarios(scale: Scale | None = None) -> list[Scenario]:
     ]
 
 
+#: The bake-off's defense contenders (prevention vs detect-and-recover).
+BAKEOFF_DEFENSES = ("None", "DRAM-Locker", "RADAR", "DNN-Defender")
+
+
+def bakeoff_scenarios(scale: Scale | None = None) -> list[Scenario]:
+    """The defense bake-off: attack registry x defense family, plus
+    serving-overhead cells and the chaos cell.
+
+    Three blocks.  (1) Every registered attack against every contender
+    -- the protection axis, one shared cached victim.  (2) Serving
+    cells (model victim + health monitor, no injection) per defense
+    across a channel sweep -- the SLA-overhead axis.  (3) The chaos
+    cell: RADAR with deterministic weight corruption injected mid-run,
+    which must be detected (100 %) and recovered to near-clean
+    accuracy -- ``benchmarks/bench_bakeoff.py`` gates exactly that.
+    """
+    scale = scale or Scale.quick()
+
+    def slug(defense: str) -> str:
+        return defense.lower().replace("/", "-")
+
+    def cell(name: str, **params) -> Scenario:
+        return Scenario(
+            name, "defense_bakeoff", scale, seed=0,
+            params=tuple(sorted(params.items())),
+        )
+
+    scenarios = [
+        cell(
+            f"bakeoff-{attack}-{slug(defense)}",
+            attack=attack, defense=defense,
+            **dict(_ATTACK_MATRIX_PARAMS.get(attack, ())),
+        )
+        for attack in available_attacks()
+        for defense in BAKEOFF_DEFENSES
+    ]
+    scenarios += [
+        cell(
+            f"bakeoff-serving-{slug(defense)}-ch{channels}",
+            attack="none", defense=defense, channels=channels,
+            serving=True,
+        )
+        for defense in BAKEOFF_DEFENSES
+        for channels in (1, 2)
+    ]
+    scenarios.append(
+        cell(
+            "bakeoff-chaos-radar",
+            attack="none", defense="RADAR", serving=True,
+            inject_slice=6, inject_rows=2,
+        )
+    )
+    return scenarios
+
+
 _SCENARIO_SETS = {
     "cheap": cheap_scenarios,
     "smoke": smoke_scenarios,
@@ -1578,6 +1716,7 @@ _SCENARIO_SETS = {
     "attacks": attack_scenarios,
     "serving": serving_scenarios,
     "serving-live": serving_live_scenarios,
+    "bakeoff": bakeoff_scenarios,
 }
 
 

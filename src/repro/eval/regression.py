@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "ATTACK_SEARCH_SCHEMA",
+    "BAKEOFF_SCHEMA",
     "DEFENDED_HAMMER_SCHEMA",
     "RUNTABLE_BENCH_SCHEMA",
     "SERVING_LIVE_SCHEMA",
@@ -30,6 +31,7 @@ __all__ = [
     "protected_accuracies",
     "compare_artifacts",
     "compare_attack_search",
+    "compare_bakeoff",
     "compare_defended_hammer",
     "compare_runtable",
     "compare_serving",
@@ -58,6 +60,10 @@ SERVING_LIVE_SCHEMA = "dram-locker-serving-live-bench/1"
 #: Schema tag of the run-table orchestration benchmark artifact
 #: (``benchmarks/bench_runtable.py``).
 RUNTABLE_BENCH_SCHEMA = "dram-locker-runtable-bench/1"
+
+#: Schema tag of the defense bake-off artifact
+#: (``benchmarks/bench_bakeoff.py``).
+BAKEOFF_SCHEMA = "dram-locker-bakeoff-bench/1"
 
 
 def load_artifact(path: str) -> dict:
@@ -577,6 +583,170 @@ def compare_runtable(
             f"{base_overhead:.2f}x (ceiling {ceiling:.2f}x)"
         )
         if overhead > ceiling:
+            report.violations.append(check)
+        else:
+            report.checks.append(check)
+    return report
+
+
+def compare_bakeoff(
+    current: dict,
+    baseline: dict,
+    accuracy_tolerance: float = 0.10,
+    latency_tolerance: float = 0.25,
+) -> RegressionReport:
+    """Regression gate for the defense bake-off artifact.
+
+    Everything behavioural in the bake-off is deterministic simulation,
+    so most of the gate is exact:
+
+    * **Chaos-cell contract** (no tolerance, self-contained): every
+      injected corruption detected (``all_injections_detected``), every
+      injection's detection latency recorded, and post-recovery
+      accuracy within the cell's committed ``accuracy_budget_pct`` of
+      the clean baseline.
+    * **Engine equivalence** (no tolerance): every serving cell that
+      recorded an ``engine_check`` must report the bulk and events
+      payloads bit-identical.
+    * **Prevention intact** (no tolerance): each DRAM-Locker serving
+      cell's victim flip-event count equals the baseline's -- zero for
+      cells the baseline does not know.
+    * **SLA-stat equivalence** (no tolerance): serving-cell SLA
+      fingerprints equal the committed baseline's exactly.
+    * **Protection frontier**: per defense, the *worst* defended
+      accuracy across the attack matrix must not shrink more than
+      ``accuracy_tolerance`` (fractional) versus the baseline, and the
+      chaos cell's detection latency must not grow more than
+      ``latency_tolerance``.
+    """
+    report = RegressionReport()
+
+    chaos = current.get("chaos")
+    base_chaos = baseline.get("chaos")
+    if chaos is None:
+        if base_chaos is not None:
+            report.violations.append(
+                "chaos cell missing from current artifact"
+            )
+    else:
+        check = (
+            f"chaos: {chaos.get('injections_detected')}/"
+            f"{chaos.get('injected_corruptions')} injected corruption(s) "
+            "detected"
+        )
+        if chaos.get("all_injections_detected"):
+            report.checks.append(check)
+        else:
+            report.violations.append(check)
+        budget = chaos.get("accuracy_budget_pct", 0.5)
+        delta = chaos.get("accuracy_delta_pct")
+        check = (
+            f"chaos: post-recovery accuracy within {budget}pp of clean "
+            f"(delta {delta}pp)"
+        )
+        if delta is None or delta > budget:
+            report.violations.append(check)
+        else:
+            report.checks.append(check)
+        latencies = chaos.get("detection_latency_ns", [])
+        check = (
+            f"chaos: detection latency recorded for "
+            f"{len(latencies)} injection(s)"
+        )
+        if not latencies or any(value is None for value in latencies):
+            report.violations.append(
+                "chaos: detection latency missing for at least one "
+                "injection"
+            )
+        else:
+            report.checks.append(check)
+        base_latencies = (base_chaos or {}).get("detection_latency_ns")
+        measurable = (
+            latencies
+            and base_latencies
+            and all(value is not None for value in latencies)
+            and all(value is not None for value in base_latencies)
+        )
+        if measurable:
+            ceiling = max(base_latencies) * (1.0 + latency_tolerance)
+            worst = max(latencies)
+            check = (
+                f"chaos: worst detection latency {worst:.0f}ns vs "
+                f"baseline {max(base_latencies):.0f}ns "
+                f"(ceiling {ceiling:.0f}ns)"
+            )
+            # An all-zero baseline (detected at the injection-slice
+            # probe) pins the current run to zero as well.
+            if worst > ceiling and worst > max(base_latencies):
+                report.violations.append(check)
+            else:
+                report.checks.append(check)
+
+    current_serving = current.get("serving_cells", {})
+    for name, cell in sorted(current_serving.items()):
+        engine_check = cell.get("engine_check")
+        if engine_check is None:
+            continue
+        check = f"{name}: events engine bit-identical to bulk reference"
+        if engine_check.get("identical"):
+            report.checks.append(check)
+        else:
+            report.violations.append(
+                f"{name}: events engine diverged from the bulk reference"
+            )
+    for name, base_cell in sorted(baseline.get("serving_cells", {}).items()):
+        cell = current_serving.get(name)
+        if cell is None:
+            report.violations.append(
+                f"serving cell {name!r} missing from current artifact"
+            )
+            continue
+        base_sla = base_cell.get("sla_fingerprint")
+        if base_sla is not None:
+            check = f"{name}: SLA fingerprint matches baseline"
+            if cell.get("sla_fingerprint") != base_sla:
+                report.violations.append(
+                    f"{name}: SLA fingerprint diverged from baseline "
+                    f"({cell.get('sla_fingerprint')} != {base_sla})"
+                )
+            else:
+                report.checks.append(check)
+    for name, cell in sorted(current_serving.items()):
+        if cell.get("defense") != "DRAM-Locker":
+            continue
+        flips = cell.get("victim_flip_events", 0)
+        base_flips = (
+            baseline.get("serving_cells", {})
+            .get(name, {})
+            .get("victim_flip_events", 0)
+        )
+        check = (
+            f"{name}: locker victim flip events {flips} "
+            f"(baseline {base_flips})"
+        )
+        if flips != base_flips:
+            report.violations.append(check)
+        else:
+            report.checks.append(check)
+
+    current_frontier = current.get("frontier", {})
+    for defense, base_point in sorted(baseline.get("frontier", {}).items()):
+        point = current_frontier.get(defense)
+        if point is None:
+            report.violations.append(
+                f"frontier point {defense!r} missing from current artifact"
+            )
+            continue
+        base_worst = base_point.get("worst_defended_accuracy")
+        worst = point.get("worst_defended_accuracy")
+        if base_worst is None or worst is None:
+            continue
+        floor = base_worst * (1.0 - accuracy_tolerance)
+        check = (
+            f"{defense}: worst defended accuracy {worst:.2f}% vs "
+            f"baseline {base_worst:.2f}% (floor {floor:.2f}%)"
+        )
+        if worst < floor:
             report.violations.append(check)
         else:
             report.checks.append(check)

@@ -25,6 +25,7 @@ CLI::
     python -m repro.eval runtable --set demo --out artifacts
     python -m repro.eval runtable --set chaos --out artifacts --resume
     python -m repro.eval runtable --set demo --out artifacts --shard 1/4
+    python -m repro.eval runtable summarize artifacts/RUNTABLE_demo.json
 """
 
 from __future__ import annotations
@@ -33,7 +34,9 @@ import argparse
 import fnmatch
 import itertools
 import json
+import math
 import os
+import sys
 import time
 from dataclasses import dataclass, field, replace
 
@@ -54,6 +57,7 @@ __all__ = [
     "CheckpointJournal",
     "RunTableResult",
     "run_table",
+    "summarize_groups",
     "RUNTABLE_SETS",
     "main",
 ]
@@ -382,6 +386,151 @@ def run_table(
 
 
 # ----------------------------------------------------------------------
+# Replicate aggregation
+# ----------------------------------------------------------------------
+#: Two-sided 95 % Student-t critical values by degrees of freedom;
+#: beyond the table the normal approximation is within half a percent.
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    12: 2.179, 15: 2.131, 20: 2.086, 30: 2.042,
+}
+
+
+def _t95(df: int) -> float:
+    if df in _T95:
+        return _T95[df]
+    for bound in sorted(_T95):
+        if df < bound:
+            return _T95[bound]
+    return 1.960
+
+
+def _flatten_metrics(payload: dict, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a result payload by dotted path.  Booleans and
+    non-dict containers are not metrics and are skipped."""
+    metrics: dict[str, float] = {}
+    for key, value in payload.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            metrics[path] = float(value)
+        elif isinstance(value, dict):
+            metrics.update(_flatten_metrics(value, path))
+    return metrics
+
+
+def summarize_groups(
+    artifact: dict, metrics: list[str] | None = None
+) -> dict[str, dict[str, dict]]:
+    """Per-group mean +/- 95 % confidence interval over replicates.
+
+    Cells sharing a factor combination (the name minus its ``/r<k>``
+    replicate suffix) form a group; every numeric leaf of their result
+    payloads (dotted path) is aggregated over the replicate seeds to
+    ``{"n", "mean", "ci95"}``, with the half-width from the Student-t
+    distribution (``ci95`` is ``None`` for a single replicate, where no
+    spread estimate exists).  ``metrics`` optionally restricts the
+    paths by :func:`fnmatch.fnmatchcase` patterns.  Errored cells are
+    excluded (their group keeps its surviving replicates).
+    """
+    groups: dict[str, list[dict[str, float]]] = {}
+    for name, payload in artifact.get("results", {}).items():
+        if not isinstance(payload, dict) or "error" in payload:
+            continue
+        group = name.rsplit("/r", 1)[0]
+        groups.setdefault(group, []).append(_flatten_metrics(payload))
+    summary: dict[str, dict[str, dict]] = {}
+    for group, replicates in sorted(groups.items()):
+        paths: set[str] = set()
+        for flattened in replicates:
+            paths.update(flattened)
+        entry: dict[str, dict] = {}
+        for path in sorted(paths):
+            if metrics is not None and not any(
+                fnmatch.fnmatchcase(path, pattern) for pattern in metrics
+            ):
+                continue
+            values = [
+                flattened[path]
+                for flattened in replicates
+                if path in flattened
+            ]
+            n = len(values)
+            mean = sum(values) / n
+            ci95 = None
+            if n > 1:
+                variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+                ci95 = _t95(n - 1) * math.sqrt(variance / n)
+            entry[path] = {"n": n, "mean": mean, "ci95": ci95}
+        summary[group] = entry
+    return summary
+
+
+def _merge_artifacts(paths: list[str]) -> dict:
+    """Concatenate the results sections of (shard) artifacts.  A cell
+    journaled by two files must agree, or the merge is refused."""
+    merged: dict = {"results": {}}
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            artifact = json.load(handle)
+        for name, payload in artifact.get("results", {}).items():
+            known = merged["results"].get(name)
+            if known is not None and known != payload:
+                raise ValueError(
+                    f"cell {name!r} differs between artifacts; refusing "
+                    "to merge"
+                )
+            merged["results"][name] = payload
+    return merged
+
+
+def summarize_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval runtable summarize",
+        description="Per-cell mean +/- 95%-CI over replicate seeds.",
+    )
+    parser.add_argument(
+        "artifacts", nargs="+", help="RUNTABLE_*.json artifact(s) / shards"
+    )
+    parser.add_argument(
+        "--metrics", nargs="+", default=None,
+        help="fnmatch patterns over dotted metric paths "
+             "(e.g. 'sla.aggregate.*')",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="print the replicate groups and exit (missing artifacts "
+             "are reported, not errors)",
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for path in args.artifacts:
+            if not os.path.exists(path):
+                print(f"{path}: not generated yet")
+                continue
+            summary = summarize_groups(_merge_artifacts([path]))
+            for group in summary:
+                print(f"{path}: {group}")
+        return 0
+    merged = _merge_artifacts(args.artifacts)
+    summary = summarize_groups(merged, metrics=args.metrics)
+    for group, entry in summary.items():
+        for path, stats in entry.items():
+            spread = (
+                "(single replicate)"
+                if stats["ci95"] is None
+                else f"+/- {stats['ci95']:.6g}"
+            )
+            print(
+                f"{group}  {path}  n={stats['n']}  "
+                f"{stats['mean']:.6g} {spread}"
+            )
+    return 0
+
+
+# ----------------------------------------------------------------------
 # Canned tables
 # ----------------------------------------------------------------------
 def _demo_table() -> tuple[RunTableSpec, FaultPlan | None]:
@@ -454,6 +603,10 @@ RUNTABLE_SETS = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "summarize":
+        return summarize_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval runtable",
         description="Checkpoint-resumable factorial run-tables.",

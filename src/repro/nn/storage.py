@@ -56,6 +56,11 @@ class WeightStore:
         self._by_row: dict[int, list[Segment]] = {}
         self._guard_rows: list[int] = []
         self._dirty = True  # first sync loads DRAM contents
+        #: Optional default row translation (a permuting defense's
+        #: ``translate``): when set, every sync/write-back follows it,
+        #: so the store tracks where the defense keeps the data
+        #: resident.  Set by the victim-load binding, not here.
+        self.row_source: Callable[[int], int] | None = None
         self.flips_observed: list[BitFlip] = []
         self._layout(start_bank)
         self._write_initial()
@@ -113,12 +118,17 @@ class WeightStore:
                 guards.update(mapper.neighbors(data_row, radius=1))
             self._guard_rows = sorted(guards - data_rows)
 
-    def _write_initial(self) -> None:
+    def _write_initial(
+        self, row_source: "Callable[[int], int] | None" = None
+    ) -> None:
         for name, tensor in self.qmodel.tensors.items():
             payload = tensor.to_bytes()
             for segment in self._by_tensor[name]:
+                target_row = (
+                    segment.row if row_source is None else row_source(segment.row)
+                )
                 self.device.poke_bytes(
-                    segment.row,
+                    target_row,
                     segment.row_offset,
                     payload[
                         segment.tensor_offset : segment.tensor_offset + segment.length
@@ -176,8 +186,14 @@ class WeightStore:
 
         ``row_source`` maps a stored row to the row actually read --
         the hook the page-table attack experiments use to read weights
-        *through* the (possibly corrupted) MMU translation.
+        *through* the (possibly corrupted) MMU translation.  When left
+        ``None`` it falls back to the store's persistent
+        :attr:`row_source` (a permuting defense's translation), which
+        always forces a full read: flips landing in relocated rows
+        never mark the store dirty.
         """
+        if row_source is None:
+            row_source = self.row_source
         if not (self._dirty or force or row_source is not None):
             return False
         for name, tensor in self.qmodel.tensors.items():
@@ -194,9 +210,19 @@ class WeightStore:
         self._dirty = False
         return True
 
-    def write_back(self) -> None:
-        """Push the current quantized payloads into DRAM (model -> DRAM)."""
-        self._write_initial()
+    def write_back(
+        self, row_source: "Callable[[int], int] | None" = None
+    ) -> None:
+        """Push the current quantized payloads into DRAM (model -> DRAM).
+
+        ``row_source`` maps a stored row to the row actually written --
+        the mirror of :meth:`sync_model`'s hook, so restores land where
+        a permuting defense currently keeps the data resident (falls
+        back to the persistent :attr:`row_source`).
+        """
+        self._write_initial(
+            self.row_source if row_source is None else row_source
+        )
 
     # ------------------------------------------------------------------
     # Traffic generation (for the performance experiments)

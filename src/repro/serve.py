@@ -22,7 +22,9 @@ Subcommands:
   recorded arrival rate.
 
 Exit codes (pinned by ``tests/test_serving_live.py``): 0 success,
-1 verification mismatch, 2 usage error (argparse).
+1 verification mismatch, 2 usage error (argparse), 3 runtime serving
+failure (:class:`~repro.serving.live.LiveServingError` -- worker
+death, queue wedge).
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ import json
 
 from .serving import (
     AdmissionConfig,
+    LiveServingError,
     ServingConfig,
     ServingResult,
     Trace,
@@ -256,7 +259,13 @@ def main(argv: list[str] | None = None) -> int:
     live.set_defaults(func=_cmd_live)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except LiveServingError as error:
+        # Distinct from exit 1 (verification mismatch): the serving
+        # machinery itself failed -- worker death, wedged queue.
+        print(f"serving error: {error}")
+        return 3
 
 
 if __name__ == "__main__":

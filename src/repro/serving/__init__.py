@@ -26,6 +26,7 @@ from .api import (
     serve,
 )
 from .engine import ServingConfig, ServingSimulation, run_serving
+from .health import HealthConfig, VictimHealthMonitor
 from .live import (
     AdmissionConfig,
     AdmissionController,
@@ -70,6 +71,7 @@ __all__ = [
     "DEFAULT_PERCENTILES",
     "GuardRowTenant",
     "GuardRowTraffic",
+    "HealthConfig",
     "LiveServer",
     "LiveServingError",
     "SLAAccountant",
@@ -85,6 +87,7 @@ __all__ = [
     "TenantSpec",
     "Trace",
     "TraceOp",
+    "VictimHealthMonitor",
     "VictimTenant",
     "WorkloadConfig",
     "WorkloadGenerator",

@@ -37,6 +37,7 @@ from ..dram.config import DRAMConfig
 from ..engines import resolve_engine
 from ..locker.locker import LockerConfig
 from ..locker.planner import LockMode
+from .health import VictimHealthMonitor
 from .live import AdmissionConfig, ChannelScaler, ScalingConfig
 from .sharded import ShardedMemorySystem
 from .sla import SLAAccountant
@@ -142,6 +143,7 @@ class ServingSimulation:
         defense_builder=None,
         model_victim=None,
         fault=None,
+        health=None,
     ):
         """``protected`` installs per-channel DRAM-Lockers;
         ``defense_builder`` instead (or additionally) installs one
@@ -155,6 +157,13 @@ class ServingSimulation:
         ``fault.at_slice`` the channel fails (every later op touching
         it is shed with reason ``"channel_fault"``, spilled first when
         a channel scaler is present) or stalls (a one-shot clock jump).
+        ``health`` is an optional
+        :class:`repro.serving.health.HealthConfig` (kept out of the
+        config for the same payload-shape reason; requires a model
+        victim): a :class:`~repro.serving.health.VictimHealthMonitor`
+        probes the model at slice boundaries, quarantines the victim's
+        channel on detected corruption (sheds booked with reason
+        ``"integrity_fault"``), and recovers the weights.
         """
         if protected is None and defense_builder is None:
             protected, defense_builder = resolve_serving_defense(
@@ -212,6 +221,9 @@ class ServingSimulation:
             self._attach_model_victim(*model_victim)
         else:
             self._place_bit_victims()
+        self._health = (
+            VictimHealthMonitor(self, health) if health is not None else None
+        )
         tenants = make_tenants(
             config.tenants,
             partitions=self._tenant_partitions(),
@@ -387,6 +399,18 @@ class ServingSimulation:
         ]
         if self.protected:
             system.protect(self.victim_rows, mode=LockMode.ADJACENT)
+        # Victim-load-time binding for detect-and-recover defenses:
+        # checksum defenses snapshot the weight rows (RADAR), priority
+        # defenses rank them most-critical-first (DNN-Defender).
+        defense = channel0.defense
+        if hasattr(defense, "bind_store"):
+            defense.bind_store(self.store)
+        if hasattr(defense, "prioritize"):
+            defense.prioritize(self.store.data_rows)
+        if defense is not None:
+            # Syncs/write-backs follow the defense's row translation (a
+            # permuting defense relocates threatened weight rows).
+            self.store.row_source = defense.translate
 
     def _bit_value(self, system_row: int) -> int:
         value = self.system.peek_bytes(system_row, 0, 1)[0]
@@ -433,8 +457,9 @@ class ServingSimulation:
         """Serve one workload op -- the unit both the closed loop and
         the trace-replay/live paths share.  Returns ``True`` when the
         op was served, ``False`` when it was shed onto a failed channel
-        (booked with reason ``"channel_fault"``) -- callers counting
-        conservation fold the return into their served/shed tallies.
+        (booked with reason ``"channel_fault"``) or a quarantined one
+        (reason ``"integrity_fault"``) -- callers counting conservation
+        fold the return into their served/shed tallies.
 
         ``arrival_s`` (replay/live only) books the op's **sojourn** --
         completion minus arrival on the trace clock, floored at its
@@ -461,6 +486,15 @@ class ServingSimulation:
                 sla.observe_shed(tenant, "channel_fault")
                 self.op_shed += 1
                 return False
+        if self._health is not None and self._health.blocks(
+            self._involved_channels(requests)
+        ):
+            # Integrity quarantine: the victim channel sits out while
+            # corruption recovery settles; the op sheds instead of
+            # touching possibly-tainted rows.
+            sla.observe_shed(tenant, "integrity_fault")
+            self.op_shed += 1
+            return False
         sink = sla.sink(tenant)
         if arrival_s is None or self._queue is not None:
             if prepared is not None:
@@ -518,6 +552,10 @@ class ServingSimulation:
             self._queue.drain()
         if self._scaler is not None:
             self._scaler.on_epoch(self.sla)
+        if self._health is not None:
+            # After the drain: the probe must see every byte the
+            # slice's traffic wrote before it checks the model.
+            self._health.on_slice_end(self._slices_closed)
         self._slices_closed += 1
 
     def _row_unavailable(self, system_row: int) -> bool:
@@ -528,6 +566,12 @@ class ServingSimulation:
             and self.system.channel_failed(
                 self.system.locate(system_row)[0].index
             )
+        )
+
+    def _row_quarantined(self, system_row: int) -> bool:
+        """Whether integrity quarantine holds this row's channel."""
+        return self._health is not None and self._health.blocks(
+            [self.system.locate(system_row)[0].index]
         )
 
     def _involved_channels(self, requests) -> list[int]:
@@ -550,6 +594,9 @@ class ServingSimulation:
                 if self._row_unavailable(row):
                     self.sla.observe_shed("victim-owner", "channel_fault")
                     continue
+                if self._row_quarantined(row):
+                    self.sla.observe_shed("victim-owner", "integrity_fault")
+                    continue
                 self._victim_traffic.touch(row)
 
     def _attacker_slice(self) -> None:
@@ -562,6 +609,9 @@ class ServingSimulation:
                 self.sla.observe_op("attacker", "hammer")
                 if self._row_unavailable(aggressor):
                     self.sla.observe_shed("attacker", "channel_fault")
+                    continue
+                if self._row_quarantined(aggressor):
+                    self.sla.observe_shed("attacker", "integrity_fault")
                     continue
                 self._dispatch(
                     RequestRun(
@@ -627,6 +677,15 @@ class ServingSimulation:
         }
         if self._scaler is not None:
             payload["scaling"] = self._scaler.report()
+        if self._health is not None:
+            report = self._health.report()
+            report["offered_ops"] = self.op_offered
+            report["served_ops"] = self.op_served
+            report["shed_ops"] = self.op_shed
+            report["conserved"] = (
+                self.op_offered == self.op_served + self.op_shed
+            )
+            payload["health"] = report
         if self.fault is not None:
             payload["fault"] = {
                 "channel": self.fault.channel,
@@ -651,6 +710,7 @@ def run_serving(
     defense_builder=None,
     model_victim=None,
     fault=None,
+    health=None,
 ) -> dict:
     """Build and run one serving cell; returns the scenario payload.
 
@@ -658,11 +718,13 @@ def run_serving(
     existing call sites; the richer entry point is
     :func:`repro.serving.serve`, which also understands traces,
     admission control, and live pacing.  ``fault`` forwards an optional
-    :class:`repro.eval.faults.ChannelFault`."""
+    :class:`repro.eval.faults.ChannelFault`, ``health`` an optional
+    :class:`repro.serving.health.HealthConfig`."""
     return ServingSimulation(
         config,
         protected=protected,
         defense_builder=defense_builder,
         model_victim=model_victim,
         fault=fault,
+        health=health,
     ).run()

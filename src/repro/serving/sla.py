@@ -230,11 +230,14 @@ class SLAAccountant:
         self._books(tenant).observe_op(kind)
 
     def observe_shed(self, tenant: str, reason: str) -> None:
-        """Count one shed (admission-dropped) op against a tenant.
+        """Count one shed (dropped) op against a tenant.
 
         ``reason`` is the admission controller's verdict --
         ``"throttled"`` (token bucket), ``"pressure"`` (SLA-pressure
-        shedding), or ``"queue-full"`` (bounded outstanding queue).
+        shedding), or ``"queue-full"`` (bounded outstanding queue) --
+        or a fault-path verdict: ``"channel_fault"`` (the op's channel
+        failed) or ``"integrity_fault"`` (the op's channel is under
+        corruption-recovery quarantine).
         """
         self._books(tenant).observe_shed(reason)
 

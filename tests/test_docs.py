@@ -57,12 +57,14 @@ def pristine_registries():
 
 def test_docs_exist_and_are_linked():
     assert "ARCHITECTURE.md" in DOC_FILES
+    assert "DEFENSES.md" in DOC_FILES
     assert "EXTENDING.md" in DOC_FILES
     assert "FLEET.md" in DOC_FILES
     with open(os.path.join(REPO, "README.md"), encoding="utf-8") as handle:
         readme = handle.read()
     for name in (
         "docs/ARCHITECTURE.md",
+        "docs/DEFENSES.md",
         "docs/EXTENDING.md",
         "docs/FLEET.md",
     ):

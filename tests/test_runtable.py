@@ -28,9 +28,11 @@ from repro.eval.runtable import (
     RUNTABLE_SETS,
     CheckpointJournal,
     RunTableSpec,
+    _merge_artifacts,
     _shard_of,
     main as runtable_main,
     run_table,
+    summarize_groups,
 )
 
 #: A tiny cheap table: 2x2x2 serving cells, sub-second total.
@@ -126,6 +128,62 @@ class TestJournal:
         journal.append({"cell": "b", "result": {}})
         with pytest.raises(ValueError, match="corrupt journal"):
             journal.load()
+
+    def test_resume_after_repair_truncate_mid_shard(self, tmp_path):
+        """A shard killed mid-write: its journal ends in a torn line.
+        Resuming the same shard repairs the tear, re-executes only the
+        lost cell, and the shard artifact is bit-identical to an
+        uninterrupted run of that shard."""
+        reference = run_table(
+            TINY, str(tmp_path), workers=2, tag="t", shard=(0, 2)
+        )
+        journal_path = tmp_path / "crash.shard0of2.journal.jsonl"
+        with open(reference.journal_path) as handle:
+            lines = handle.read().splitlines(keepends=True)
+        assert len(lines) == 4
+        # Three durable records plus half of the fourth, as a
+        # mid-write SIGKILL would leave them.
+        journal_path.write_text(
+            "".join(lines[:3]) + lines[3][: len(lines[3]) // 2]
+        )
+        resumed = run_table(
+            TINY, str(tmp_path), workers=2, tag="crash",
+            shard=(0, 2), resume=True,
+        )
+        assert resumed.resumed == 3 and resumed.executed == 1
+        assert resumed.artifact["results"] == reference.artifact["results"]
+        # The repaired journal is whole again: every line parses.
+        for line in journal_path.read_text().splitlines():
+            json.loads(line)
+
+    def test_multi_shard_merge_with_torn_final_line(self, tmp_path):
+        """Two shards of one table, one journal torn mid-record: after
+        resuming the torn shard, the merged shard artifacts equal an
+        unsharded sweep of the same table."""
+        full = run_table(TINY, str(tmp_path), workers=2, tag="whole")
+        shard0 = run_table(
+            TINY, str(tmp_path), workers=2, tag="m", shard=(0, 2)
+        )
+        run_table(TINY, str(tmp_path), workers=2, tag="m", shard=(1, 2))
+        with open(shard0.journal_path, "r+") as handle:
+            text = handle.read()
+            handle.seek(0)
+            handle.truncate()
+            handle.write(text[:-17])  # tear the final record mid-json
+        torn_records = CheckpointJournal(shard0.journal_path).load()
+        assert len(torn_records) == 3  # the torn record is dropped
+        resumed = run_table(
+            TINY, str(tmp_path), workers=2, tag="m",
+            shard=(0, 2), resume=True,
+        )
+        assert resumed.resumed == 3 and resumed.executed == 1
+        merged = _merge_artifacts(
+            [
+                str(tmp_path / "RUNTABLE_m.shard0of2.json"),
+                str(tmp_path / "RUNTABLE_m.shard1of2.json"),
+            ]
+        )
+        assert merged["results"] == full.artifact["results"]
 
 
 class TestRunTable:
@@ -268,3 +326,74 @@ class TestCLI:
         resumed = json.load(open(tmp_path / "RUNTABLE_victim.json"))
         assert resumed["results"] == reference["results"]
         assert resumed["cells"] == reference["cells"]
+
+
+# ----------------------------------------------------------------------
+# Replicate aggregation
+# ----------------------------------------------------------------------
+class TestSummarize:
+    @staticmethod
+    def _artifact() -> dict:
+        return {
+            "results": {
+                "t/a=1/r0": {"score": 1.0, "nested": {"depth": 10}},
+                "t/a=1/r1": {"score": 2.0, "nested": {"depth": 20}},
+                "t/a=1/r2": {"score": 3.0, "nested": {"depth": 30}},
+                "t/a=2/r0": {"score": 7.0, "flag": True, "label": "x"},
+                "t/a=3/r0": {"error": "boom"},
+                "t/a=3/r1": {"score": 4.0},
+            }
+        }
+
+    def test_mean_and_ci95_over_replicates(self):
+        summary = summarize_groups(self._artifact())
+        stats = summary["t/a=1"]["score"]
+        assert stats["n"] == 3
+        assert stats["mean"] == pytest.approx(2.0)
+        # Sample std 1.0, t(df=2) = 4.303: half-width 4.303/sqrt(3).
+        assert stats["ci95"] == pytest.approx(4.303 / 3**0.5, rel=1e-3)
+        assert summary["t/a=1"]["nested.depth"]["mean"] == pytest.approx(20.0)
+
+    def test_single_replicate_has_no_interval(self):
+        summary = summarize_groups(self._artifact())
+        stats = summary["t/a=2"]["score"]
+        assert stats["n"] == 1 and stats["ci95"] is None
+
+    def test_errored_cells_excluded_not_fatal(self):
+        summary = summarize_groups(self._artifact())
+        # r0 errored; the group aggregates its surviving replicate.
+        assert summary["t/a=3"]["score"]["n"] == 1
+
+    def test_non_numeric_leaves_are_not_metrics(self):
+        summary = summarize_groups(self._artifact())
+        assert set(summary["t/a=2"]) == {"score"}  # no flag, no label
+
+    def test_metric_patterns_filter_paths(self):
+        summary = summarize_groups(
+            self._artifact(), metrics=["nested.*"]
+        )
+        assert set(summary["t/a=1"]) == {"nested.depth"}
+        assert summary["t/a=2"] == {}
+
+    def test_merge_refuses_conflicting_cells(self, tmp_path):
+        for name, score in (("s0", 1.0), ("s1", 2.0)):
+            (tmp_path / f"{name}.json").write_text(
+                json.dumps({"results": {"t/a=1/r0": {"score": score}}})
+            )
+        with pytest.raises(ValueError, match="refusing to merge"):
+            _merge_artifacts(
+                [str(tmp_path / "s0.json"), str(tmp_path / "s1.json")]
+            )
+
+    def test_cli_summarize(self, tmp_path, capsys):
+        path = tmp_path / "RUNTABLE_t.json"
+        path.write_text(json.dumps(self._artifact()))
+        assert runtable_main(["summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "t/a=1  score  n=3  2 +/-" in out
+        assert "(single replicate)" in out
+        # --list tolerates artifacts that do not exist yet (the docs
+        # checker appends it to documented commands).
+        missing = str(tmp_path / "nope.json")
+        assert runtable_main(["summarize", missing, "--list"]) == 0
+        assert "not generated yet" in capsys.readouterr().out

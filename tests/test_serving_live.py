@@ -347,6 +347,23 @@ class TestServeCLI:
             serve_main(["live", "trace.npz"])  # --speedup required
         assert excinfo.value.code == 2
 
+    def test_live_serving_error_exits_3(self, tmp_path, capsys, monkeypatch):
+        import repro.serve as serve_module
+        from repro.serving import LiveServingError
+
+        out = str(tmp_path / "cli.npz")
+        assert serve_main(["record", *self.ARGS, "--out", out]) == 0
+
+        def wedged(config, trace=None):
+            raise LiveServingError(
+                "channel worker died mid-run",
+                {"phase": "executor", "offered": 7, "served": 3},
+            )
+
+        monkeypatch.setattr(serve_module, "serve", wedged)
+        assert serve_main(["live", out, "--speedup", "1000"]) == 3
+        assert "serving error" in capsys.readouterr().out
+
 
 # ----------------------------------------------------------------------
 # Canned set + nightly gate
