@@ -34,7 +34,7 @@ from repro.eval.harness import (
     attack_scenarios,
     shutdown_worker_pool,
 )
-from repro.eval.regression import ATTACK_SEARCH_SCHEMA
+from repro.eval.regression import ATTACK_SEARCH_SCHEMA, host_meta
 from repro.eval.experiments import run_attack_scenario
 
 ARTIFACT = "BENCH_attack_search.json"
@@ -139,6 +139,7 @@ def main(argv: list[str] | None = None) -> int:
 
     document = {
         "schema": ATTACK_SEARCH_SCHEMA,
+        "meta": host_meta(),
         "arch": "resnet20",
         "iterations": args.iterations,
         "families": families,

@@ -43,7 +43,7 @@ from repro.eval.harness import (
     bakeoff_scenarios,
     run_scenario,
 )
-from repro.eval.regression import BAKEOFF_SCHEMA
+from repro.eval.regression import BAKEOFF_SCHEMA, host_meta
 
 ARTIFACT = "BENCH_bakeoff.json"
 
@@ -351,6 +351,7 @@ def main(argv: list[str] | None = None) -> int:
 
     document = {
         "schema": BAKEOFF_SCHEMA,
+        "meta": host_meta(),
         "defenses": list(BAKEOFF_DEFENSES),
         "attacks": sorted(
             {cell["attack"] for cell in attack_cells.values()}

@@ -27,7 +27,7 @@ import time
 
 from repro.eval import Scale
 from repro.eval.harness import DEFENDED_HAMMER_DEFENSES, run_scenario, Scenario
-from repro.eval.regression import DEFENDED_HAMMER_SCHEMA
+from repro.eval.regression import DEFENDED_HAMMER_SCHEMA, host_meta
 
 ARTIFACT = "BENCH_defended_hammer.json"
 
@@ -143,6 +143,7 @@ def main(argv: list[str] | None = None) -> int:
 
     document = {
         "schema": DEFENDED_HAMMER_SCHEMA,
+        "meta": host_meta(),
         "trh": args.trh,
         "repeats": args.repeats,
         "defenses": defenses,

@@ -38,7 +38,7 @@ import tempfile
 import time
 
 from repro.eval.harness import SupervisorConfig, run_matrix
-from repro.eval.regression import RUNTABLE_BENCH_SCHEMA
+from repro.eval.regression import RUNTABLE_BENCH_SCHEMA, host_meta
 from repro.eval.runtable import RUNTABLE_SETS, run_table
 
 ARTIFACT = "BENCH_runtable.json"
@@ -214,6 +214,7 @@ def main(argv: list[str] | None = None) -> int:
     with tempfile.TemporaryDirectory(prefix="bench-runtable-") as work:
         document = {
             "schema": RUNTABLE_BENCH_SCHEMA,
+            "meta": host_meta(),
             "workers": WORKERS,
             "checkpoint": _checkpoint_cell(os.path.join(work, "ckpt")),
             "recovery": _recovery_cell(os.path.join(work, "recovery")),

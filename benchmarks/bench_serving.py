@@ -34,7 +34,7 @@ import time
 
 from repro.eval import Scale
 from repro.eval.harness import Scenario, run_scenario
-from repro.eval.regression import SERVING_SCHEMA
+from repro.eval.regression import SERVING_SCHEMA, host_meta
 
 ARTIFACT = "BENCH_serving.json"
 
@@ -252,6 +252,7 @@ def main(argv: list[str] | None = None) -> int:
 
     document = {
         "schema": SERVING_SCHEMA,
+        "meta": host_meta(),
         "channel_counts": channel_counts,
         "repeats": args.repeats,
         "cells": cells,

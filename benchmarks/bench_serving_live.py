@@ -38,7 +38,7 @@ import os
 import time
 from dataclasses import replace
 
-from repro.eval.regression import SERVING_LIVE_SCHEMA
+from repro.eval.regression import SERVING_LIVE_SCHEMA, host_meta
 from repro.serving import (
     AdmissionConfig,
     ServingConfig,
@@ -251,6 +251,7 @@ def main(argv: list[str] | None = None) -> int:
     started = time.perf_counter()
     document = {
         "schema": SERVING_LIVE_SCHEMA,
+        "meta": host_meta(),
         "overload_factor": OVERLOAD_FACTOR,
         "p99_target_factor": P99_TARGET_FACTOR,
         "replay": {"cells": _replay_cells()},

@@ -20,7 +20,12 @@ serving artifacts (``bench_serving_live.py``) on replay equivalence,
 exact overload fingerprints, and admission holding the sojourn
 target; defense bake-off artifacts (``bench_bakeoff.py``) on the
 chaos-cell detect-and-recover contract, engine equivalence, exact SLA
-fingerprints, and the protection frontier.  Refresh a baseline by copying a
+fingerprints, and the protection frontier; telemetry-overhead
+artifacts (``bench_obs.py``) on enabled/disabled payload identity,
+exact event counts, and the disabled-path overhead budget.  Every
+comparison reads only its named sections, so the host-provenance
+``meta`` block newer artifacts carry is ignored against baselines
+recorded before it existed.  Refresh a baseline by copying a
 trusted run's artifact over the ``*_baseline.json`` file under
 ``benchmarks/artifacts/`` -- regenerate harness baselines on the same
 runner class the workflow uses, since wall-clock baselines do not
@@ -33,6 +38,7 @@ from repro.eval.regression import (
     ATTACK_SEARCH_SCHEMA,
     BAKEOFF_SCHEMA,
     DEFENDED_HAMMER_SCHEMA,
+    OBS_SCHEMA,
     RUNTABLE_BENCH_SCHEMA,
     SERVING_LIVE_SCHEMA,
     SERVING_SCHEMA,
@@ -40,6 +46,7 @@ from repro.eval.regression import (
     compare_attack_search,
     compare_bakeoff,
     compare_defended_hammer,
+    compare_obs,
     compare_runtable,
     compare_serving,
     compare_serving_live,
@@ -80,6 +87,8 @@ def main(argv: list[str] | None = None) -> int:
         report = compare_bakeoff(
             current, baseline, accuracy_tolerance=args.accuracy_tolerance
         )
+    elif current.get("schema") == OBS_SCHEMA:
+        report = compare_obs(current, baseline)
     else:
         report = compare_artifacts(
             current,

@@ -56,6 +56,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..defenses.base import Defense
 from ..dram.device import DRAMDevice
 from ..engines import EXECUTION_ENGINES, resolve_engine
@@ -281,6 +282,17 @@ class MemoryController:
                 device.advance(decision.extra_ns)
                 device.stats.blocked_requests += 1
                 device.stats.defense_ns += decision.extra_ns
+                tel = obs.ACTIVE
+                if tel is not None:
+                    tel.metrics.inc(
+                        "controller.blocked_requests", engine=self.engine
+                    )
+                    tel.audit.emit(
+                        "locker-block",
+                        now_ns=device.now_ns,
+                        row=request.row,
+                        count=1,
+                    )
                 result = RequestResult(
                     request,
                     Status.BLOCKED,
@@ -606,6 +618,14 @@ class MemoryController:
         if self.defense is not None:
             self.defense.on_activate_run(physical, count, now_start, step_ns)
 
+        tel = obs.ACTIVE
+        if tel is not None:
+            tel.metrics.inc("controller.act_runs", engine=self.engine)
+            tel.metrics.inc("controller.acts", count, engine=self.engine)
+            tel.metrics.set(
+                "controller.defense_ns", stats.defense_ns, engine=self.engine
+            )
+
         sink.add_run(
             requests,
             start,
@@ -645,6 +665,19 @@ class MemoryController:
         stats.blocked_requests += count
         self.locker.charge_bulk_blocked(count)
         device.refresh.tick(device.now_ns)
+
+        tel = obs.ACTIVE
+        if tel is not None:
+            tel.metrics.inc("controller.blocked_runs", engine=self.engine)
+            tel.metrics.inc(
+                "controller.blocked_requests", count, engine=self.engine
+            )
+            tel.audit.emit(
+                "locker-block",
+                now_ns=device.now_ns,
+                row=requests[start].row,
+                count=count,
+            )
 
         sink.add_run(
             requests,

@@ -59,6 +59,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..locker.lock_table import LOCK_LOOKUP_NS
 from .request import MemRequest, Status
 
@@ -199,6 +200,9 @@ def fused_epoch(
         rowhammer.quiet_span(physical),
     )
     if quiet >= limit:
+        tel = obs.ACTIVE
+        if tel is not None:
+            tel.metrics.inc("controller.epoch_leaps", engine="events")
         controller._bulk_acts(
             requests, start, limit, physical, lookup_hit, extra_ns,
             step_ns, sink,
@@ -270,6 +274,10 @@ def fused_epoch(
 
     if committed <= 0:
         return 0
+    tel = obs.ACTIVE
+    if tel is not None:
+        tel.metrics.inc("controller.fused_epochs", engine="events")
+        tel.metrics.inc("controller.acts", committed, engine="events")
     rowhammer.charge_activations(physical, committed - position)
     (
         breakdown.activate,

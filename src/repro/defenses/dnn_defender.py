@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..dram.config import DRAMConfig
 from .base import Defense, DefenseAction, OverheadReport, RunAction
 from .permutation import RowPermutation
@@ -165,6 +166,16 @@ class DNNDefender(Defense):
         self.permutation.swap_locations(victim, partner)
         self._window_swaps += 1
         self.swaps_performed += 1
+        tel = obs.ACTIVE
+        if tel is not None:
+            tel.metrics.inc("defense.dnn_defender.swaps")
+            tel.audit.emit(
+                "dnn-defender-swap",
+                now_ns=device.now_ns,
+                aggressor=row,
+                victim=victim,
+                partner=partner,
+            )
         action.extra_ns += 3 * device.timing.rowclone_ns
         action.moved_rows += 2
         action.note = "dnn-defender-swap"

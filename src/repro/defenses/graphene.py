@@ -9,6 +9,7 @@ counter-per-row storage.  Mitigation is a victim refresh.
 
 from __future__ import annotations
 
+from .. import obs
 from ..dram.config import DRAMConfig
 from .base import MIB, Defense, DefenseAction, OverheadReport, RunAction
 from .trackers import MisraGries
@@ -45,6 +46,9 @@ class Graphene(Defense):
             self._refresh_victims(row, action)
             table.reset_item(row)
             action.note = "graphene-mitigation"
+            tel = obs.ACTIVE
+            if tel is not None:
+                tel.metrics.inc("defense.graphene.mitigations")
         return self._charge(action)
 
     def plan_activate_run(self, row: int, limit: int) -> RunAction | None:

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..dram.config import DRAMConfig
 from ..dram.stats import walk_add
 from .base import KIB, Defense, DefenseAction, OverheadReport, RunAction
@@ -166,6 +167,9 @@ class Radar(Defense):
             # Detection on inference reads: the checksum streams with
             # the data on every access to a protected row.
             self.read_checks += 1
+            tel = obs.ACTIVE
+            if tel is not None:
+                tel.metrics.inc("defense.radar.read_checks")
             action.extra_ns += self.check_ns
             if self._group_digest(group.rows) != group.digest:
                 self._recover(group, action, now_ns, via="read")
@@ -177,6 +181,9 @@ class Radar(Defense):
         self, action: DefenseAction, now_ns: float, via: str
     ) -> None:
         self.scrubs += 1
+        tel = obs.ACTIVE
+        if tel is not None:
+            tel.metrics.inc("defense.radar.scrubs", via=via)
         for group in self._groups:
             action.extra_ns += self.scrub_ns_per_group
             if self._group_digest(group.rows) != group.digest:
@@ -210,6 +217,18 @@ class Radar(Defense):
             mode = "zero"
         group.digest = self._group_digest(group.rows)
         action.note = f"radar-{mode}"
+        tel = obs.ACTIVE
+        if tel is not None:
+            tel.metrics.inc("defense.radar.detections", mode=mode)
+            tel.metrics.set("defense.radar.rows_restored", self.rows_restored)
+            tel.metrics.set("defense.radar.rows_zeroed", self.rows_zeroed)
+            tel.audit.emit(
+                "radar-recovery",
+                now_ns=now_ns,
+                group=group.index,
+                via=via,
+                mode=mode,
+            )
         self.detection_log.append(
             {
                 "now_ns": now_ns,
@@ -248,6 +267,9 @@ class Radar(Defense):
         group = self._row_group.get(row)
         if group is not None:
             self.read_checks += count
+            tel = obs.ACTIVE
+            if tel is not None:
+                tel.metrics.inc("defense.radar.read_checks", count)
             # Scalar ``_charge`` adds check_ns and bumps ``actions``
             # once per ACT.
             self.mitigation_ns_total = walk_add(

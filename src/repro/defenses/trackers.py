@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from .. import obs
+
 __all__ = ["MisraGries"]
 
 
@@ -37,6 +39,9 @@ class MisraGries:
             return 1
         # Table full: decrement everybody (the item itself is absorbed).
         self.decrements += 1
+        tel = obs.ACTIVE
+        if tel is not None:
+            tel.metrics.inc("defense.graphene.decrements")
         for key in list(self.counters):
             remaining = self.counters[key] - 1
             if remaining == 0:

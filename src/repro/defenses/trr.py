@@ -9,6 +9,7 @@ and the reason the paper's Table I baselines moved to bigger trackers.
 
 from __future__ import annotations
 
+from .. import obs
 from ..dram.config import DRAMConfig
 from .base import Defense, DefenseAction, OverheadReport, RunAction
 
@@ -40,6 +41,9 @@ class TRR(Defense):
                 # Evict the coldest entry -- the sampler's blind spot.
                 coldest = min(self._counts, key=self._counts.get)
                 del self._counts[coldest]
+                tel = obs.ACTIVE
+                if tel is not None:
+                    tel.metrics.inc("defense.trr.evictions")
             self._counts[row] = 1
         else:
             self._counts[row] = count + 1
@@ -47,6 +51,9 @@ class TRR(Defense):
                 self._refresh_victims(row, action)
                 self._counts[row] = 0
                 action.note = "trr-mitigation"
+                tel = obs.ACTIVE
+                if tel is not None:
+                    tel.metrics.inc("defense.trr.mitigations")
         return self._charge(action)
 
     def plan_activate_run(self, row: int, limit: int) -> RunAction | None:

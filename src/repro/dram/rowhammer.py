@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-
+from .. import obs
 from .address import AddressMapper
 from .config import DRAMConfig
 from .vulnerability import VulnerabilityMap
@@ -156,6 +156,16 @@ class RowHammerModel:
                 event.flips.append(BitFlip(row=victim, bit=int(bit), time_ns=now_ns))
         if event.flips:
             self.total_disturbances += 1
+        tel = obs.ACTIVE
+        if tel is not None:
+            tel.metrics.inc("rowhammer.trh_crossings")
+            tel.audit.emit(
+                "trh-crossing",
+                now_ns=now_ns,
+                aggressor=aggressor,
+                radius=radius,
+                flips=len(event.flips),
+            )
         return event
 
 

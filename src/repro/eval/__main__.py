@@ -11,6 +11,11 @@ Usage::
                                         # parallel scenario harness
     python -m repro.eval runtable --set demo --out artifacts --resume
                                         # checkpointed factorial sweeps
+
+``--log-level {debug,info,warning,error}`` (accepted anywhere on the
+command line, including before ``matrix``/``runtable``) turns on
+structured jsonl logging to stderr via :mod:`repro.obs.logging`; it
+never changes stdout output or exit codes.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..obs.logging import LOG_LEVELS, configure_logging
 from .experiments import (
     Scale,
     run_fig1a,
@@ -93,9 +99,40 @@ def _print_fig7b() -> None:
           f"{out['locker_exceeds_plot']})")
 
 
+def _extract_log_level(argv: list[str]) -> tuple[list[str], str | None]:
+    """Strip ``--log-level [=]X`` from anywhere in ``argv``.
+
+    Handled here -- before dispatch -- so the flag works uniformly for
+    the experiment runners and for the delegated ``matrix``/``runtable``
+    sub-CLIs without threading it through every parser.
+    """
+    rest: list[str] = []
+    level: str | None = None
+    index = 0
+    while index < len(argv):
+        token = argv[index]
+        if token == "--log-level" and index + 1 < len(argv):
+            level = argv[index + 1]
+            index += 2
+            continue
+        if token.startswith("--log-level="):
+            level = token.split("=", 1)[1]
+            index += 1
+            continue
+        rest.append(token)
+        index += 1
+    if level is not None and level not in LOG_LEVELS:
+        raise SystemExit(
+            f"error: --log-level must be one of {', '.join(LOG_LEVELS)}"
+        )
+    return rest, level
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    argv, log_level = _extract_log_level(list(argv))
+    configure_logging(log_level)
     if argv and argv[0] == "matrix":
         # Delegate to the parallel scenario harness CLI.
         from .harness import main as harness_main

@@ -30,6 +30,7 @@ import atexit
 import cProfile
 import itertools
 import json
+import logging
 import multiprocessing
 import os
 import re
@@ -40,6 +41,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..controller.controller import MemoryController
 from ..defenses.builders import (
     DEFENSE_BUILDERS,
@@ -97,6 +99,8 @@ __all__ = [
     "DEFENSE_BUILDERS",
     "DEFENDED_HAMMER_DEFENSES",
 ]
+
+logger = logging.getLogger("repro.eval.harness")
 
 
 # ----------------------------------------------------------------------
@@ -157,6 +161,11 @@ class ScenarioResult:
     error: str | None = None
     attempts: tuple[str, ...] = ()
     quarantined: bool = False
+    #: Per-cell telemetry snapshot (:meth:`repro.obs.Telemetry.
+    #: snapshot`), recorded only when telemetry is active in the
+    #: parent (or ``REPRO_TELEMETRY`` is set, which survives spawn
+    #: workers).  Deliberately excluded from the artifact payload.
+    telemetry: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -209,11 +218,39 @@ class MatrixResult:
     def failures(self) -> list[ScenarioResult]:
         return [result for result in self.results if not result.ok]
 
+    def telemetry_summary(self) -> dict | None:
+        """Merged per-cell telemetry (worker-count invariant by the
+        merge semantics: counters and histogram bins sum, gauges take
+        the max, audit kinds tally).  ``None`` when no cell recorded
+        telemetry (the disabled default)."""
+        cells = [
+            result.telemetry for result in self.results if result.telemetry
+        ]
+        if not cells:
+            return None
+        kinds: dict[str, int] = {}
+        for cell in cells:
+            for kind, count in cell["audit"]["kinds"].items():
+                kinds[kind] = kinds.get(kind, 0) + count
+        return {
+            "metrics": obs.MetricsRegistry.merge(
+                [cell["metrics"] for cell in cells]
+            ),
+            "audit": {
+                "events": sum(cell["audit"]["events"] for cell in cells),
+                "kinds": dict(sorted(kinds.items())),
+            },
+        }
+
     def as_artifact(self) -> dict:
         """The ``BENCH_*.json`` document.  Everything except ``timing``
-        is a deterministic function of (scenarios, base_seed)."""
+        and ``meta`` is a deterministic function of (scenarios,
+        base_seed)."""
+        from .regression import host_meta
+
         return {
             "schema": "dram-locker-bench/1",
+            "meta": host_meta(),
             "tag": self.tag,
             "base_seed": self.base_seed,
             "scenarios": [
@@ -807,13 +844,32 @@ def run_scenario(
     if profile_dir is not None:
         os.makedirs(profile_dir, exist_ok=True)
         profiler = cProfile.Profile()
-    try:
+    # One fresh Telemetry per cell: the snapshot travels back on the
+    # ScenarioResult, so merged matrix telemetry is invariant to the
+    # worker count (REPRO_TELEMETRY reaches spawn workers, which do not
+    # inherit the parent's obs.ACTIVE).
+    telemetry = (
+        obs.Telemetry()
+        if obs.ACTIVE is not None or os.environ.get("REPRO_TELEMETRY")
+        else None
+    )
+
+    def invoke():
         if profiler is not None:
-            payload = profiler.runcall(
+            return profiler.runcall(
                 runner, scenario.scale, seed, **scenario.kwargs()
             )
+        return runner(scenario.scale, seed, **scenario.kwargs())
+
+    try:
+        if telemetry is not None:
+            with obs.enabled_scope(telemetry):
+                with telemetry.trace.span(
+                    "cell", cell=scenario.name, runner=scenario.runner
+                ):
+                    payload = invoke()
         else:
-            payload = runner(scenario.scale, seed, **scenario.kwargs())
+            payload = invoke()
     except Exception:  # noqa: BLE001 - workers must report, not die
         return ScenarioResult(
             scenario.name,
@@ -821,11 +877,15 @@ def run_scenario(
             seed,
             time.perf_counter() - started,
             error=traceback.format_exc(),
+            telemetry=telemetry.snapshot() if telemetry is not None else None,
         )
     finally:
         if profiler is not None:
+            # Run-table cell names carry "/" separators; flatten them
+            # so the stats land in profile_dir itself.
+            stem = scenario.name.replace("/", "_")
             profiler.dump_stats(
-                os.path.join(profile_dir, f"profile_{scenario.name}.pstats")
+                os.path.join(profile_dir, f"profile_{stem}.pstats")
             )
     return ScenarioResult(
         scenario.name,
@@ -833,6 +893,7 @@ def run_scenario(
         seed,
         time.perf_counter() - started,
         payload=payload,
+        telemetry=telemetry.snapshot() if telemetry is not None else None,
     )
 
 
@@ -1187,6 +1248,10 @@ def _supervised_map(
     def quarantine(index: int, elapsed_s: float) -> None:
         scenario = scenarios[index]
         outcomes = counted_outcomes(index)
+        tel = obs.ACTIVE
+        if tel is not None:
+            tel.metrics.inc("fleet.quarantines")
+            tel.audit.emit("fleet-quarantine", cell=scenario.name)
         finalize(
             index,
             ScenarioResult(
@@ -1208,6 +1273,9 @@ def _supervised_map(
     ) -> None:
         attempt_log.setdefault(scenarios[index].name, []).append(outcome)
         if counted:
+            tel = obs.ACTIVE
+            if tel is not None:
+                tel.metrics.inc("fleet.retries")
             failures[index] += 1
             if failures[index] > config.retries:
                 quarantine(index, time.monotonic() - flight.dispatched_at)
@@ -1328,6 +1396,9 @@ def _supervised_map(
                     )
                 shutdown_worker_pool(force=True)
                 pool, rebuild_s = _acquire_pool(processes)
+                tel = obs.ACTIVE
+                if tel is not None:
+                    tel.metrics.inc("fleet.pool_rebuilds")
                 startup_s += rebuild_s
                 events = _POOL_STATE.get("events")
                 known_pids = _pool_pids(pool)
@@ -1410,6 +1481,9 @@ def run_matrix(
         raise ValueError(f"duplicate scenario names in matrix: {names}")
     if workers is None:
         workers = max(1, min(len(scenarios), os.cpu_count() or 1))
+    logger.info(
+        "matrix tag=%s scenarios=%d workers=%d", tag, len(scenarios), workers
+    )
     started = time.perf_counter()
     prewarm_s = 0.0
     if prewarm is not None:
@@ -1453,6 +1527,10 @@ def run_matrix(
         pool_startup_s=pool_startup_s,
         prewarm_s=prewarm_s,
         attempt_log=attempt_log,
+    )
+    logger.info(
+        "matrix tag=%s done wall_clock_s=%.2f failures=%d",
+        tag, matrix.wall_clock_s, len(matrix.failures),
     )
     if artifact_dir is not None:
         matrix.write_artifact(artifact_dir)

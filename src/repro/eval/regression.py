@@ -18,12 +18,17 @@ What counts as a protected accuracy:
 from __future__ import annotations
 
 import json
+import os
+import platform
+import subprocess
+import sys
 from dataclasses import dataclass, field
 
 __all__ = [
     "ATTACK_SEARCH_SCHEMA",
     "BAKEOFF_SCHEMA",
     "DEFENDED_HAMMER_SCHEMA",
+    "OBS_SCHEMA",
     "RUNTABLE_BENCH_SCHEMA",
     "SERVING_LIVE_SCHEMA",
     "SERVING_SCHEMA",
@@ -33,9 +38,11 @@ __all__ = [
     "compare_attack_search",
     "compare_bakeoff",
     "compare_defended_hammer",
+    "compare_obs",
     "compare_runtable",
     "compare_serving",
     "compare_serving_live",
+    "host_meta",
     "load_artifact",
 ]
 
@@ -65,10 +72,51 @@ RUNTABLE_BENCH_SCHEMA = "dram-locker-runtable-bench/1"
 #: (``benchmarks/bench_bakeoff.py``).
 BAKEOFF_SCHEMA = "dram-locker-bakeoff-bench/1"
 
+#: Schema tag of the telemetry-overhead benchmark artifact
+#: (``benchmarks/bench_obs.py``).
+OBS_SCHEMA = "dram-locker-obs-bench/1"
+
 
 def load_artifact(path: str) -> dict:
     with open(path, encoding="utf-8") as handle:
         return json.load(handle)
+
+
+def host_meta() -> dict:
+    """Provenance block stamped into every benchmark/harness artifact.
+
+    Deliberately contains **no wall-clock timestamp**: two artifacts
+    produced on the same host from the same tree must stay
+    byte-identical (the run-table resume-identity gate depends on it).
+    """
+    try:
+        import numpy
+
+        numpy_version = str(numpy.__version__)
+    except Exception:  # pragma: no cover - numpy is a hard dep in CI
+        numpy_version = "unknown"
+    try:
+        sha = (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=False,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except Exception:
+        sha = "unknown"
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy_version,
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": sha,
+    }
 
 
 def protected_accuracies(artifact: dict) -> dict[str, float]:
@@ -747,6 +795,89 @@ def compare_bakeoff(
             f"baseline {base_worst:.2f}% (floor {floor:.2f}%)"
         )
         if worst < floor:
+            report.violations.append(check)
+        else:
+            report.checks.append(check)
+    return report
+
+
+def compare_obs(
+    current: dict,
+    baseline: dict,
+    disabled_budget_pct: float = 1.0,
+    enabled_tolerance: float = 0.50,
+) -> RegressionReport:
+    """Regression gate for the telemetry-overhead artifact.
+
+    The telemetry core's contract has two halves, and the gate checks
+    both:
+
+    * **Observational inertness** (no tolerance, self-contained):
+      every cell run with telemetry enabled must produce a payload
+      bit-identical to the disabled run (``payload_identical``), and
+      the deterministic event counts -- metric ``updates`` and
+      ``audit_events`` -- must equal the committed baseline's exactly.
+      A drift means instrumentation leaked into simulation state.
+    * **Zero overhead when disabled** (absolute budget, self-contained):
+      each cell's ``disabled_pct`` -- the measured per-guard check cost
+      times the number of guard sites hit, as a percentage of the
+      cell's telemetry-off runtime -- must stay under
+      ``disabled_budget_pct``.  The estimate is built from a guard
+      microbenchmark rather than differencing two noisy wall-clock
+      runs, so it is stable enough to gate on in CI.
+
+    The *enabled* path is allowed to cost real time; its ``enabled_ratio``
+    (on/off wall-clock) only has to stay within ``enabled_tolerance``
+    of the committed baseline's ratio -- ratios transfer across runner
+    classes, wall seconds do not.
+    """
+    report = RegressionReport()
+    current_cells = current.get("cells", {})
+    for name, cell in sorted(current_cells.items()):
+        check = f"{name}: enabled payload bit-identical to disabled run"
+        if cell.get("payload_identical"):
+            report.checks.append(check)
+        else:
+            report.violations.append(
+                f"{name}: telemetry changed the simulation payload"
+            )
+        pct = cell.get("disabled_pct")
+        check = (
+            f"{name}: disabled-path overhead {pct if pct is None else round(pct, 4)}% "
+            f"(budget {disabled_budget_pct}%)"
+        )
+        if pct is None or pct >= disabled_budget_pct:
+            report.violations.append(check)
+        else:
+            report.checks.append(check)
+    for name, base_cell in sorted(baseline.get("cells", {}).items()):
+        cell = current_cells.get(name)
+        if cell is None:
+            report.violations.append(f"cell {name!r} missing from current artifact")
+            continue
+        for key in ("updates", "audit_events"):
+            if key not in base_cell:
+                continue
+            check = (
+                f"{name}: {key} {cell.get(key)} == baseline {base_cell[key]}"
+            )
+            if cell.get(key) != base_cell[key]:
+                report.violations.append(
+                    f"{name}: {key} diverged from baseline "
+                    f"({cell.get(key)} != {base_cell[key]})"
+                )
+            else:
+                report.checks.append(check)
+        base_ratio = base_cell.get("enabled_ratio")
+        ratio = cell.get("enabled_ratio")
+        if base_ratio is None or ratio is None:
+            continue
+        ceiling = base_ratio * (1.0 + enabled_tolerance)
+        check = (
+            f"{name}: enabled-path ratio {ratio:.3f}x vs baseline "
+            f"{base_ratio:.3f}x (ceiling {ceiling:.3f}x)"
+        )
+        if ratio > ceiling:
             report.violations.append(check)
         else:
             report.checks.append(check)

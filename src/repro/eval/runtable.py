@@ -40,6 +40,7 @@ import sys
 import time
 from dataclasses import dataclass, field, replace
 
+from .. import obs
 from .faults import FaultPlan, FaultSpec
 from .harness import (
     Scale,
@@ -203,6 +204,9 @@ class CheckpointJournal:
             handle.write(line)
             handle.flush()
             os.fsync(handle.fileno())
+        tel = obs.ACTIVE
+        if tel is not None:
+            tel.metrics.inc("fleet.journal_fsyncs")
 
 
 @dataclass
@@ -237,6 +241,7 @@ def run_table(
     shard: tuple[int, int] = (0, 1),
     tag: str | None = None,
     faults: FaultPlan | None = None,
+    profile_dir: str | None = None,
 ) -> RunTableResult:
     """Execute (one shard of) a run-table with checkpointing.
 
@@ -247,6 +252,10 @@ def run_table(
     (``results`` section) to an uninterrupted one.  Quarantined and
     errored cells are checkpointed like any other -- a resume does not
     retry them (rerun without ``--resume`` for that).
+
+    ``profile_dir`` forwards to :func:`run_matrix`: every executed
+    cell runs under cProfile and dumps ``profile_<name>.pstats`` there
+    (resumed cells are skipped, so a resume profiles only what ran).
     """
     started = time.perf_counter()
     shard_index, shard_count = shard
@@ -294,6 +303,7 @@ def run_table(
             ),
             faults=faults,
             on_result=checkpoint,
+            profile_dir=profile_dir,
         )
     records = journal.load()
     missing = [cell.name for cell in my_cells if cell.name not in records]
@@ -320,8 +330,11 @@ def run_table(
         for payload in results.values()
         if isinstance(payload, dict) and "error" in payload
     )
+    from .regression import host_meta
+
     artifact = {
         "schema": RUNTABLE_SCHEMA,
+        "meta": host_meta(),
         "table": spec.name,
         "tag": tag,
         "base_seed": base_seed,
@@ -641,6 +654,11 @@ def main(argv: list[str] | None = None) -> int:
         help="override the table's per-cell retry budget",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="dump per-cell cProfile stats (profile_<name>.pstats) "
+             "into the output directory",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="print the cell list and exit"
     )
     args = parser.parse_args(argv)
@@ -668,6 +686,7 @@ def main(argv: list[str] | None = None) -> int:
         shard=(shard_index, shard_count),
         tag=args.tag,
         faults=faults,
+        profile_dir=args.out if args.profile else None,
     )
     print(
         f"run-table {spec.name}: {result.cells} cell(s) "

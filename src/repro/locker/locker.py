@@ -27,6 +27,7 @@ from typing import Iterable
 
 import numpy as np
 
+from .. import obs
 from ..controller.request import MemRequest
 from ..defenses.base import OverheadReport
 from ..dram.config import DRAMConfig
@@ -237,10 +238,20 @@ class DRAMLocker:
         result = self.swap_engine.swap(physical, free_row, buffer_row)
         extra_ns += result.latency_ns
         self.unlock_swaps += 1
+        tel = obs.ACTIVE
+        if tel is not None:
+            tel.metrics.inc("locker.unlock_swaps")
 
         if not result.success:
             self.failed_unlock_swaps += 1
             self._release_free_row(free_row)
+            if tel is not None:
+                tel.metrics.inc("locker.failed_unlock_swaps")
+                tel.audit.emit(
+                    "locker-swap-failed",
+                    now_ns=self.device.now_ns,
+                    row=physical,
+                )
             return self._fallback(physical, extra_ns, reason="swap failed")
 
         self._swap_mapping(physical, free_row)
@@ -260,6 +271,15 @@ class DRAMLocker:
         # Availability-first: serve directly and suspend enforcement on
         # this row until the re-secure deadline -- the exposure window.
         self.exposure_windows += 1
+        tel = obs.ACTIVE
+        if tel is not None:
+            tel.metrics.inc("locker.exposures")
+            tel.audit.emit(
+                "locker-exposure",
+                now_ns=self.device.now_ns,
+                row=physical,
+                reason=reason,
+            )
         self.exposed.add(physical)
         self._schedule(_PendingKind.RESECURE, physical_row=physical)
         return AccessDecision(
@@ -287,6 +307,9 @@ class DRAMLocker:
             return
         result = self.swap_engine.swap(current, home, buffer_row)
         self.restores += 1
+        tel = obs.ACTIVE
+        if tel is not None:
+            tel.metrics.inc("locker.restores")
         if result.success:
             # Careful with argument order: swap(current, home) exchanged
             # the data, so undo the mapping and return the pool row.
@@ -296,6 +319,14 @@ class DRAMLocker:
             # The restoring swap failed: the data stays at `current`;
             # the lock follows the data (paper's literal re-lock).
             self.failed_restores += 1
+            if tel is not None:
+                tel.metrics.inc("locker.failed_restores")
+                tel.audit.emit(
+                    "locker-restore-failed",
+                    now_ns=self.device.now_ns,
+                    row=current,
+                    home=home,
+                )
             self.table.lock(current)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,55 @@
+"""Structured stderr logging for the CLIs.
+
+``--log-level`` on ``python -m repro.serve`` and ``python -m
+repro.eval`` routes the ``repro`` logger hierarchy through a jsonl
+formatter on stderr: one ``{"ts", "level", "logger", "msg"}`` object
+per line, timestamped in UTC.  Without the flag nothing is configured
+and the CLIs stay silent-until-exit, so exit codes and stdout output
+are byte-identical either way (``tests/test_serving_live.py`` pins the
+exit codes).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+
+__all__ = ["JsonlFormatter", "LOG_LEVELS", "configure_logging"]
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+class JsonlFormatter(logging.Formatter):
+    """One JSON object per record: ``{"ts", "level", "logger", "msg"}``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        return json.dumps(
+            {
+                "ts": time.strftime(
+                    "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+                )
+                + f".{int(record.msecs):03d}Z",
+                "level": record.levelname,
+                "logger": record.name,
+                "msg": record.getMessage(),
+            },
+            sort_keys=True,
+        )
+
+
+def configure_logging(level: str | None) -> None:
+    """Install the jsonl stderr handler on the ``repro`` logger.
+
+    ``level=None`` (the default: ``--log-level`` not given) is a no-op,
+    preserving the CLIs' silent behaviour exactly.
+    """
+    if level is None:
+        return
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(JsonlFormatter())
+    logger = logging.getLogger("repro")
+    logger.handlers[:] = [handler]
+    logger.setLevel(getattr(logging, level.upper()))
+    logger.propagate = False

@@ -24,7 +24,9 @@ Subcommands:
 Exit codes (pinned by ``tests/test_serving_live.py``): 0 success,
 1 verification mismatch, 2 usage error (argparse), 3 runtime serving
 failure (:class:`~repro.serving.live.LiveServingError` -- worker
-death, queue wedge).
+death, queue wedge).  ``--log-level`` turns on structured jsonl
+logging to stderr (:mod:`repro.obs.logging`); it never changes the
+stdout payload or the exit code.
 """
 
 from __future__ import annotations
@@ -32,7 +34,9 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import logging
 
+from .obs.logging import LOG_LEVELS, configure_logging
 from .serving import (
     AdmissionConfig,
     LiveServingError,
@@ -45,6 +49,8 @@ from .serving import (
 )
 
 __all__ = ["main"]
+
+logger = logging.getLogger("repro.serve")
 
 
 def _add_config_args(parser: argparse.ArgumentParser) -> None:
@@ -152,6 +158,9 @@ def _cmd_record(args: argparse.Namespace) -> int:
         utilization=args.utilization,
     )
     path = trace.save(args.out)
+    logger.info(
+        "recorded ops=%d slices=%d out=%s", len(trace), trace.slices, path
+    )
     print(
         f"recorded {len(trace)} ops over {trace.slices} slices "
         f"({trace.slice_duration_s:.3e}s each) -> {path}"
@@ -178,12 +187,17 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         config, admission=admission, trace=None, speedup=0.0
     )
     result = serve(config, trace=trace)
+    logger.debug(
+        "replayed trace=%s engine=%s makespan_ns=%.0f",
+        args.trace, config.engine, result.makespan_ns,
+    )
     _summarize(result, args.json)
     if args.verify:
         from .serving import ServingSimulation
 
         closed = ServingSimulation(config).run()
         if replay_neutral(result.payload) != replay_neutral(closed):
+            logger.error("replay diverged from the closed loop")
             print("VERIFY FAILED: replay diverges from the closed loop")
             return 1
         print("verify: replay bit-identical to the closed loop")
@@ -208,6 +222,10 @@ def _cmd_live(args: argparse.Namespace) -> int:
     result = serve(config, trace=trace)
     _summarize(result, args.json)
     pacing = result.live["pacing"]
+    logger.info(
+        "live offered=%d served=%d shed=%d",
+        pacing["offered"], pacing["served"], pacing["shed"],
+    )
     if pacing["offered"] != pacing["served"] + pacing["shed"]:
         print("error: conservation violated (offered != served + shed)")
         return 1
@@ -217,6 +235,11 @@ def _cmd_live(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(prog="python -m repro.serve")
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS, default=None,
+        help="emit structured jsonl logs at this level on stderr "
+             "(default: logging stays off)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     record = commands.add_parser(
@@ -259,13 +282,18 @@ def main(argv: list[str] | None = None) -> int:
     live.set_defaults(func=_cmd_live)
 
     args = parser.parse_args(argv)
+    configure_logging(args.log_level)
+    logger.info("command=%s", args.command)
     try:
-        return args.func(args)
+        code = args.func(args)
     except LiveServingError as error:
         # Distinct from exit 1 (verification mismatch): the serving
         # machinery itself failed -- worker death, wedged queue.
+        logger.error("serving failure: %s", error)
         print(f"serving error: {error}")
         return 3
+    logger.info("command=%s exit=%d", args.command, code)
+    return code
 
 
 if __name__ == "__main__":

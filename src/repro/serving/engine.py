@@ -27,10 +27,12 @@ Victims come in two shapes:
 
 from __future__ import annotations
 
+import time
 from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from .. import obs
 from ..controller.request import Kind, MemRequest, RequestRun
 from ..defenses.builders import resolve_serving_defense
 from ..dram.config import DRAMConfig
@@ -303,6 +305,11 @@ class ServingSimulation:
 
     def _dispatch(self, requests, sink) -> None:
         """Route one stream: immediately, or via the event queue."""
+        tel = obs.ACTIVE
+        if tel is not None:
+            # Audit events emitted during execution carry the open
+            # slice; the events engine re-stamps before its drain.
+            tel.audit.set_field("slice", self._slices_closed)
         if self._queue is None:
             self.system.execute_stream(requests, sink)
         else:
@@ -437,12 +444,22 @@ class ServingSimulation:
         percentile books are current).
         """
         for slice_index in range(self.config.slices):
+            tel = obs.ACTIVE
+            started_ns = time.perf_counter_ns() if tel is not None else 0
             # Tenant traffic, multiplexed onto channels via the
             # configured engine; each tenant's latencies stream into
             # its books through the controller sink protocol.
             for op in self.generator.slice_ops(slice_index):
                 self.serve_op(op.tenant, op.kind, op.requests)
             self.end_slice()
+            if tel is not None:
+                tel.trace.complete(
+                    "slice",
+                    started_ns,
+                    time.perf_counter_ns() - started_ns,
+                    slice=slice_index,
+                    engine=self.config.engine,
+                )
         return self._payload()
 
     def serve_op(
@@ -531,6 +548,11 @@ class ServingSimulation:
         activation, so the closed-loop, replay, and live paths inject
         at the identical point.
         """
+        tel = obs.ACTIVE
+        if tel is not None:
+            # The events engine's queued streams execute in the drain
+            # below: stamp their audit events with the closing slice.
+            tel.audit.set_field("slice", self._slices_closed)
         if (
             self.fault is not None
             and not self._fault_active

@@ -31,6 +31,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
+
 __all__ = ["HealthConfig", "VictimHealthMonitor"]
 
 
@@ -181,8 +183,16 @@ class VictimHealthMonitor:
             < sim.clean_accuracy - self.config.accuracy_tolerance
         )
         event = degraded or in_stream > 0 or scrub_found > 0
+        tel = obs.ACTIVE
+        if tel is not None:
+            tel.metrics.inc(
+                "serving.health.probes",
+                outcome="detection" if event else "clean",
+            )
         if event:
             self.detections += 1
+            if tel is not None:
+                tel.metrics.inc("serving.health.detections")
             if degraded:
                 # Whatever RADAR could not restore exactly (zero-out
                 # fallback, or no RADAR at all) rolls back from the
@@ -192,6 +202,8 @@ class VictimHealthMonitor:
                     sim.dataset.test_x, sim.dataset.test_y
                 )
             self.recoveries += 1
+            if tel is not None:
+                tel.metrics.inc("serving.health.recoveries")
             self.post_recovery_accuracy = accuracy
             self._begin_quarantine()
             self._resolve_injections(slice_index, radar)
@@ -219,6 +231,14 @@ class VictimHealthMonitor:
             return
         if not self.quarantined_channels:
             self.quarantines += 1
+            tel = obs.ACTIVE
+            if tel is not None:
+                tel.metrics.inc("serving.health.quarantines")
+                tel.audit.emit(
+                    "quarantine",
+                    channel=self.channel,
+                    slices=self.config.quarantine_slices,
+                )
         self.quarantined_channels.add(self.channel)
         self._quarantine_remaining = self.config.quarantine_slices
 

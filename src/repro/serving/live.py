@@ -42,6 +42,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from .. import obs
 from ..controller.request import MemRequest, RequestRun
 from .sla import SLAAccountant
 from .workload import derive_seed
@@ -198,6 +199,14 @@ class ChannelBacklog:
                 return False
             for index in indices:
                 self._outstanding[index] += 1
+            tel = obs.ACTIVE
+            if tel is not None:
+                for index in indices:
+                    tel.metrics.high_water(
+                        "serving.backlog_depth",
+                        self._outstanding[index],
+                        channel=index,
+                    )
             return True
 
     def release(self, indices) -> None:
@@ -308,6 +317,9 @@ class ChannelScaler:
         )
         self._spill[tenant] = (first, count, spill_first)
         self._toggle[tenant] = False
+        tel = obs.ACTIVE
+        if tel is not None:
+            tel.metrics.inc("serving.scaler_spills", tenant=tenant)
 
     def on_channel_failed(self, failed_channel: int) -> None:
         """Fail-over: force-spill every tenant homed on a failed

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Sequence
 
+from .. import obs
 from ..controller.controller import MemoryController, make_summary_sink
 from ..controller.events import SystemEventQueue
 from ..controller.request import (
@@ -48,6 +49,19 @@ from ..locker.planner import LockMode, ProtectionPlan
 from .workload import derive_seed
 
 __all__ = ["ChannelState", "ShardedMemorySystem"]
+
+
+def _run_batch(state: "ChannelState", batch, sink) -> None:
+    """Execute one per-channel sub-batch, stamping audit events with
+    the channel index.  Applies at execution/drain time, so the stamp
+    is identical whether the stream ran immediately (bulk) or deferred
+    through the event queue (events)."""
+    tel = obs.ACTIVE
+    if tel is None:
+        state.controller.execute_stream(batch, sink)
+        return
+    with tel.audit.context(channel=state.index):
+        state.controller.execute_stream(batch, sink)
 
 
 @dataclass
@@ -285,7 +299,7 @@ class ShardedMemorySystem:
         into ``sink`` via the controller sink protocol.
         """
         for state, batch in self._batches(requests):
-            state.controller.execute_stream(batch, sink)
+            _run_batch(state, batch, sink)
 
     def handoff_stream(self, requests: Sequence[MemRequest], sink):
         """Non-blocking hand-off: translate and batch *now*, execute
@@ -302,7 +316,7 @@ class ShardedMemorySystem:
         def execute() -> None:
             """Run the prepared per-channel batches, in order."""
             for state, batch in batches:
-                state.controller.execute_stream(batch, sink)
+                _run_batch(state, batch, sink)
 
         return execute
 
@@ -350,7 +364,7 @@ class ShardedMemorySystem:
         def run_batches() -> None:
             """Drain this submission's per-channel batches, in order."""
             for state, batch in batches:
-                state.controller.execute_stream(batch, sink)
+                _run_batch(state, batch, sink)
 
         queue.submit(channels, sink, run_batches)
 

@@ -41,6 +41,7 @@ import math
 import threading
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..controller.controller import SummarySink
 from ..controller.request import RunSummary, Status
 
@@ -239,6 +240,14 @@ class SLAAccountant:
         failed) or ``"integrity_fault"`` (the op's channel is under
         corruption-recovery quarantine).
         """
+        tel = obs.ACTIVE
+        if tel is not None:
+            tel.metrics.inc("serving.sheds", tenant=tenant, reason=reason)
+            if reason in ("channel_fault", "integrity_fault"):
+                # Fault-path sheds are defense-relevant (the simulated
+                # path emits them at deterministic slice-loop points);
+                # load-dependent sheds stay out of the audit stream.
+                tel.audit.emit("shed", tenant=tenant, reason=reason)
         self._books(tenant).observe_shed(reason)
 
     def observe_sojourn(self, tenant: str, sojourn_ns: float) -> None:

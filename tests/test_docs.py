@@ -60,6 +60,7 @@ def test_docs_exist_and_are_linked():
     assert "DEFENSES.md" in DOC_FILES
     assert "EXTENDING.md" in DOC_FILES
     assert "FLEET.md" in DOC_FILES
+    assert "OBSERVABILITY.md" in DOC_FILES
     with open(os.path.join(REPO, "README.md"), encoding="utf-8") as handle:
         readme = handle.read()
     for name in (
@@ -67,6 +68,7 @@ def test_docs_exist_and_are_linked():
         "docs/DEFENSES.md",
         "docs/EXTENDING.md",
         "docs/FLEET.md",
+        "docs/OBSERVABILITY.md",
     ):
         assert name in readme, f"README does not link {name}"
 
